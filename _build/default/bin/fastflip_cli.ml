@@ -1,0 +1,256 @@
+(* The fastflip command-line tool.
+
+   Subcommands:
+     compile  <file>      parse/typecheck/lower a program and print its IR
+     run      <file>      golden-run a program and print its outputs
+     analyze  <file>      full FastFlip analysis: per-pc value/cost table
+                          and the knapsack selection for a target
+     compare  <file>      FastFlip vs monolithic-baseline utility and work
+     bench    <name>      analyze a built-in benchmark (3 versions,
+                          incremental store) and print speedups
+     list                 list the built-in benchmarks *)
+
+open Cmdliner
+module Pipeline = Fastflip.Pipeline
+module Campaign = Ff_inject.Campaign
+module Site = Ff_inject.Site
+module Table = Ff_support.Table
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let compile_file path =
+  match Ff_lang.Frontend.compile (read_file path) with
+  | Ok program -> program
+  | Error e ->
+    Format.eprintf "%s: %a@." path Ff_lang.Frontend.pp_error e;
+    exit 1
+
+let config_of ~bits ~samples =
+  let bit_list =
+    match bits with
+    | [] -> Site.default_bits
+    | bits -> Site.Bit_list bits
+  in
+  {
+    Pipeline.default_config with
+    Pipeline.campaign = { Campaign.default_config with Campaign.bits = bit_list };
+    sensitivity_samples = samples;
+  }
+
+(* --- arguments ----------------------------------------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Kernel-language source file.")
+
+let target_arg =
+  Arg.(value & opt float 0.9 & info [ "t"; "target" ] ~docv:"V" ~doc:"Target protection value v_trgt in [0,1].")
+
+let bits_arg =
+  Arg.(value & opt (list int) [] & info [ "bits" ] ~docv:"B1,B2,..."
+         ~doc:"Bit positions to inject (default: the stratified 16-bit subset).")
+
+let samples_arg =
+  Arg.(value & opt int 200 & info [ "samples" ] ~docv:"N"
+         ~doc:"Sensitivity-analysis samples per input buffer.")
+
+let epsilon_arg =
+  Arg.(value & opt float 0.0 & info [ "epsilon" ] ~docv:"E"
+         ~doc:"SDC-Bad threshold: SDC magnitudes up to E are acceptable.")
+
+let store_arg =
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"PATH"
+         ~doc:"Persistent analysis store: loaded before the analysis (section                results whose code, inputs and configuration are unchanged are                reused) and saved back afterwards — the CI workflow of the paper.")
+
+let with_store store_path k =
+  match store_path with
+  | None -> k (Fastflip.Store.create ())
+  | Some path ->
+    let store =
+      if Sys.file_exists path then begin
+        match Fastflip.Persist.load ~path with
+        | Ok store ->
+          Printf.printf "loaded %d section records from %s\n" (Fastflip.Store.size store) path;
+          store
+        | Error e ->
+          Printf.eprintf "ignoring store %s: %s\n" path e;
+          Fastflip.Store.create ()
+      end
+      else Fastflip.Store.create ()
+    in
+    let result = k store in
+    Fastflip.Persist.save store ~path;
+    Printf.printf "saved %d section records to %s\n" (Fastflip.Store.size store) path;
+    result
+
+(* --- compile -------------------------------------------------------------- *)
+
+let compile_cmd =
+  let run path =
+    let program = compile_file path in
+    Format.printf "%a@." Ff_ir.Program.pp program
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a program and print its MiniVM IR.")
+    Term.(const run $ file_arg)
+
+(* --- run ------------------------------------------------------------------- *)
+
+let run_cmd =
+  let run path =
+    let program = compile_file path in
+    let golden = Ff_vm.Golden.run program in
+    Printf.printf "sections: %d, dynamic instructions: %d\n"
+      (Array.length golden.Ff_vm.Golden.sections)
+      golden.Ff_vm.Golden.total_dyn;
+    let show = function
+      | Ff_ir.Value.Int v -> Int64.to_string v
+      | Ff_ir.Value.Float v -> Printf.sprintf "%.10g" v
+    in
+    List.iter
+      (fun (_, name, values) ->
+        Printf.printf "%s = [%s]\n" name
+          (String.concat "; " (Array.to_list (Array.map show values))))
+      (Ff_vm.Golden.outputs golden)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Golden-run a program and print its outputs.")
+    Term.(const run $ file_arg)
+
+(* --- analyze ---------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run path target bits samples epsilon store_path =
+    let config = { (config_of ~bits ~samples) with Pipeline.epsilon } in
+    let program = compile_file path in
+    let analysis = with_store store_path (fun store -> Pipeline.analyze ~store config program) in
+    Printf.printf "sections reused from the store: %d/%d\n"
+      analysis.Pipeline.sections_reused
+      (analysis.Pipeline.sections_reused + analysis.Pipeline.sections_analyzed);
+    Printf.printf "injection + sensitivity work: %d simulated instructions\n"
+      analysis.Pipeline.work;
+    Printf.printf "total SDC-Bad value mass: %d sites over %d dynamic instructions\n\n"
+      analysis.Pipeline.valuation.Fastflip.Valuation.total_value
+      analysis.Pipeline.valuation.Fastflip.Valuation.total_cost;
+    Format.printf "End-to-end SDC specification:@.%a@."
+      Ff_chisel.Propagate.pp analysis.Pipeline.propagation;
+    let t =
+      Table.create ~title:"Per-instruction protection value and cost"
+        [ ("pc", Table.Left); ("v(pc) sites", Table.Right); ("c(pc) dyn", Table.Right) ]
+    in
+    List.iter
+      (fun (pc, v) ->
+        Table.add_row t
+          [
+            Format.asprintf "%a" Site.pp_pc pc;
+            string_of_int v;
+            string_of_int (Fastflip.Valuation.cost_of analysis.Pipeline.valuation pc);
+          ])
+      analysis.Pipeline.valuation.Fastflip.Valuation.values;
+    Table.print t;
+    let selection = Pipeline.select analysis ~target in
+    Printf.printf
+      "\nknapsack selection for v_trgt = %.2f: %d instructions, cost %d dyn instrs (%.1f%% of trace)\n"
+      target
+      (List.length selection.Fastflip.Knapsack.pcs)
+      selection.Fastflip.Knapsack.cost
+      (100.0
+      *. Fastflip.Valuation.cost_fraction analysis.Pipeline.valuation
+           ~selected:selection.Fastflip.Knapsack.pcs);
+    Printf.printf "selected: %s\n"
+      (String.concat ", "
+         (List.map (Format.asprintf "%a" Site.pp_pc) selection.Fastflip.Knapsack.pcs))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the full FastFlip analysis on a program and print the selection.")
+    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ store_arg)
+
+(* --- compare ----------------------------------------------------------------- *)
+
+let compare_cmd =
+  let run path target bits samples epsilon =
+    let config = { (config_of ~bits ~samples) with Pipeline.epsilon } in
+    let program = compile_file path in
+    let ff = Pipeline.analyze config program in
+    let base =
+      Fastflip.Baseline.analyze config.Pipeline.campaign ~epsilon ff.Pipeline.golden
+    in
+    let row =
+      Fastflip.Compare.row ~ff ~base ~inaccuracy:0.04 ~target ~used_target:target
+    in
+    Printf.printf "FastFlip work:  %d simulated instructions\n" ff.Pipeline.work;
+    Printf.printf "Baseline work:  %d simulated instructions\n" base.Fastflip.Baseline.work;
+    Printf.printf "achieved value: %.4f (target %.2f, error range +-%.4f)%s\n"
+      row.Fastflip.Compare.achieved target row.Fastflip.Compare.error_range
+      (if row.Fastflip.Compare.acceptable then "" else "  [BELOW RANGE]");
+    Printf.printf "FastFlip cost:  %.4f of the trace\n" row.Fastflip.Compare.ff_cost;
+    Printf.printf "Baseline cost:  %.4f of the trace (excess %+.4f)\n"
+      row.Fastflip.Compare.base_cost row.Fastflip.Compare.cost_diff
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare FastFlip's selection against the monolithic baseline.")
+    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg)
+
+(* --- bench -------------------------------------------------------------------- *)
+
+let bench_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
+           ~doc:"Benchmark name (see 'fastflip list').")
+  in
+  let run name bits samples =
+    match Ff_benchmarks.Registry.find name with
+    | None ->
+      Printf.eprintf "unknown benchmark %s; try: %s\n" name
+        (String.concat ", " Ff_benchmarks.Registry.names);
+      exit 1
+    | Some bench ->
+      let config = config_of ~bits ~samples in
+      let run = Ff_harness.Experiments.run_benchmark ~config bench in
+      let t =
+        Table.create
+          ~title:(Printf.sprintf "%s: FastFlip vs baseline analysis work" bench.Ff_benchmarks.Defs.name)
+          [
+            ("Version", Table.Left); ("Modification", Table.Left);
+            ("FastFlip work", Table.Right); ("Baseline work", Table.Right);
+            ("Speedup", Table.Right);
+          ]
+      in
+      List.iter
+        (fun r ->
+          Table.add_row t
+            [
+              Ff_benchmarks.Defs.version_name r.Ff_harness.Experiments.version;
+              bench.Ff_benchmarks.Defs.modification_desc r.Ff_harness.Experiments.version;
+              string_of_int r.Ff_harness.Experiments.ff_work;
+              string_of_int r.Ff_harness.Experiments.base_work;
+              Printf.sprintf "%.1fx" (Ff_harness.Experiments.speedup r);
+            ])
+        run.Ff_harness.Experiments.results;
+      Table.print t
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"Analyze a built-in benchmark across its three versions.")
+    Term.(const run $ name_arg $ bits_arg $ samples_arg)
+
+(* --- list ---------------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun b ->
+        Printf.printf "%-9s %-10s %s\n" b.Ff_benchmarks.Defs.name
+          b.Ff_benchmarks.Defs.input_desc b.Ff_benchmarks.Defs.sections_desc)
+      Ff_benchmarks.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in paper benchmarks.") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "fastflip" ~version:"1.0.0"
+      ~doc:"Compositional SDC resiliency analysis (FastFlip, CGO 2025 reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; analyze_cmd; compare_cmd; bench_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Ff_inject Ff_ir Ff_lang Ff_vm Format List Printf

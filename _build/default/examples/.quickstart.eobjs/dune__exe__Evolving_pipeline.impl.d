@@ -1,0 +1,1 @@
+examples/evolving_pipeline.ml: Fastflip Ff_inject Ff_lang Printf String

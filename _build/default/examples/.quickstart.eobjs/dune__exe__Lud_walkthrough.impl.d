@@ -1,0 +1,1 @@
+examples/lud_walkthrough.ml: Array Defs Fastflip Ff_benchmarks Ff_chisel Ff_inject Ff_ir Ff_lang Ff_vm Format List Option Printf Registry

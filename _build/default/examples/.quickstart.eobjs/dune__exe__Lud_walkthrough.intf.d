@@ -1,0 +1,1 @@
+examples/lud_walkthrough.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fastflip Ff_chisel Ff_inject Ff_lang Format List Printf String

@@ -1,0 +1,1 @@
+lib/benchmarks/bscholes.ml: Array Defs Gen Lazy List Printf String

@@ -1,0 +1,1 @@
+lib/benchmarks/bscholes.mli: Defs

@@ -1,0 +1,1 @@
+lib/benchmarks/campipe.ml: Defs Ff_support Gen Lazy Printf String

@@ -1,0 +1,1 @@
+lib/benchmarks/campipe.mli: Defs

@@ -1,0 +1,1 @@
+lib/benchmarks/fft.ml: Defs Ff_support Gen Lazy Printf String

@@ -1,0 +1,1 @@
+lib/benchmarks/gen.ml: Array Ff_ir Ff_lang Ff_support Ff_vm Float Int64 List Printf Program String Value

@@ -1,0 +1,1 @@
+lib/benchmarks/gen.mli: Ff_vm

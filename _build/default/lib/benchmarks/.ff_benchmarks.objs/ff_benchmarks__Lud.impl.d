@@ -1,0 +1,1 @@
+lib/benchmarks/lud.ml: Array Defs Ff_support Gen Lazy List Printf String

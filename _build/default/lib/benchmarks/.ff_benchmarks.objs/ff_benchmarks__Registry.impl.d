@@ -1,0 +1,1 @@
+lib/benchmarks/registry.ml: Bscholes Campipe Defs Fft List Lud Sha2 String

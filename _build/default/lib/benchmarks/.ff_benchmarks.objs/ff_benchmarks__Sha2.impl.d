@@ -1,0 +1,1 @@
+lib/benchmarks/sha2.ml: Defs Ff_support Gen Int64 Lazy List Printf String

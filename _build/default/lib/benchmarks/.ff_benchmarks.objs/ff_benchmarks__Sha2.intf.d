@@ -1,0 +1,1 @@
+lib/benchmarks/sha2.mli: Defs

@@ -1,0 +1,9 @@
+(** Black-Scholes option pricing (PARSEC), 2 options, 4 sections × 2.
+
+    Sections per option: d1/d2 computation, CNDF(d1), CNDF(d2), price
+    combination. The Small modification rewrites the CNDF polynomial in
+    shared-power form (bit-identical, fewer multiplies) in both CNDF
+    kernels; the Large modification replaces the d-computation section
+    with a lookup table. *)
+
+val benchmark : Defs.t

@@ -1,0 +1,13 @@
+(** Camera raw-processing pipeline (after CAVA's Nikon D7000 pipeline),
+    6×6 raw image, 5 sections: demosaic → denoise → color transform →
+    gamut map → tone map.
+
+    The final tone map clamps to [0, 1] and many golden pixels saturate,
+    so SDCs from earlier sections are frequently masked downstream —
+    Campipe is the paper's showcase for inter-section masking and the
+    resulting need for aggressive target adjustment (§6.1, Table 4).
+    The Small modification stores a repeated expression in a variable in
+    the (cheap) gamut section — hence the paper's largest Small speedup;
+    the Large modification replaces demosaic with a lookup table. *)
+
+val benchmark : Defs.t

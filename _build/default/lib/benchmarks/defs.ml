@@ -1,0 +1,21 @@
+type version =
+  | V_none
+  | V_small
+  | V_large
+
+let version_name = function
+  | V_none -> "None"
+  | V_small -> "Small"
+  | V_large -> "Large"
+
+let all_versions = [ V_none; V_small; V_large ]
+
+type t = {
+  name : string;
+  input_desc : string;
+  sections_desc : string;
+  source : version -> string;
+  epsilon_good : float;
+  inaccuracy : float;
+  modification_desc : version -> string;
+}

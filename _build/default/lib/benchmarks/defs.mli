@@ -1,0 +1,26 @@
+(** Benchmark metadata shared by the registry and the harness. *)
+
+type version =
+  | V_none   (** the unmodified program *)
+  | V_small  (** §5.5 small modification: a few-line, bit-identical
+                 developer/compiler optimization *)
+  | V_large  (** §5.5 large modification: one section replaced by a
+                 lookup table with the original code as fallback *)
+
+val version_name : version -> string
+(** "None" | "Small" | "Large", as the paper's tables print them. *)
+
+val all_versions : version list
+
+type t = {
+  name : string;
+  input_desc : string;     (** Table 1 "Input size" column *)
+  sections_desc : string;  (** Table 1 "Sections" column *)
+  source : version -> string;
+  (** kernel-language source of each version (memoized) *)
+  epsilon_good : float;
+  (** the §6.4 SDC-Good threshold: 0.01, except 0 for SHA2 whose output
+      must be exact *)
+  inaccuracy : float;      (** pilot-prediction inaccuracy (§5.6) *)
+  modification_desc : version -> string;
+}

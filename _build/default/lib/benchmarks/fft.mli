@@ -1,0 +1,11 @@
+(** Iterative radix-2 FFT (Splash-3), 16 complex points.
+
+    Five sections: bit-reversal followed by four calls of the {e same}
+    butterfly-stage kernel. Because the stage kernel repeats, the
+    monolithic baseline prunes its injections across sections while
+    FastFlip cannot — the paper's FFT anomaly where FastFlip is slower
+    on the unmodified version (§6.2). The Small modification hoists the
+    twiddle-angle expression into a variable inside the stage kernel;
+    the Large modification replaces bit-reversal with a lookup table. *)
+
+val benchmark : Defs.t

@@ -1,0 +1,10 @@
+(** Blocked LU decomposition (Splash-3), 12×12 matrix, 4×4 blocks.
+
+    Four kernels (lu0, bdiv, bmodd, bmod) over a 3×3 block grid give 14
+    section instances across the three outer iterations — the paper's
+    running example (§3, Algorithm 1). The Small modification adds a
+    specialized bmod path without edge-block bounds checks (taken when
+    the matrix size divides the block size, as here); the Large
+    modification replaces lu0 with a lookup table. *)
+
+val benchmark : Defs.t

@@ -1,0 +1,14 @@
+let all =
+  [
+    Bscholes.benchmark;
+    Campipe.benchmark;
+    Fft.benchmark;
+    Lud.benchmark;
+    Sha2.benchmark;
+  ]
+
+let find name =
+  let needle = String.lowercase_ascii name in
+  List.find_opt (fun b -> String.equal (String.lowercase_ascii b.Defs.name) needle) all
+
+let names = List.map (fun b -> b.Defs.name) all

@@ -1,0 +1,10 @@
+(** The benchmark registry: the paper's five programs (§5.4) with their
+    two modifications each (§5.5) — 15 versions total. *)
+
+val all : Defs.t list
+(** BScholes, Campipe, FFT, LUD, SHA2 — the Table 1 order. *)
+
+val find : string -> Defs.t option
+(** Case-insensitive lookup by name. *)
+
+val names : string list

@@ -1,0 +1,12 @@
+(** SHA-256 of a 32-byte message (one padded block), integer kernels.
+
+    Three sections: message-schedule expansion, the 64-round compression,
+    and digest finalization. 32-bit words are carried in 64-bit integer
+    registers and masked after each arithmetic step. The Small
+    modification removes a redundant recomputation of the rotr-11 term
+    inside the compression's Σ1 (the paper's "eliminate a redundant shift
+    operation"); the Large modification replaces the compression — the
+    dominant section — with a lookup table, which is why SHA2 sees almost
+    no FastFlip speedup (§6.2). *)
+
+val benchmark : Defs.t

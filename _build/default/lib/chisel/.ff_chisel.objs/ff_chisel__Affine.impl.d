@@ -1,0 +1,1 @@
+lib/chisel/affine.ml: Format Int64 List Printf String

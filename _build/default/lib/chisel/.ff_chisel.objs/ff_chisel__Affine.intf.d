@@ -1,0 +1,1 @@
+lib/chisel/affine.mli: Format

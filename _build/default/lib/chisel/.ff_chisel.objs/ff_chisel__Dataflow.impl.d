@@ -1,0 +1,1 @@
+lib/chisel/dataflow.ml: Array Ff_ir Ff_vm Format Golden Hashtbl Kernel List Program String

@@ -1,0 +1,1 @@
+lib/chisel/dataflow.mli: Ff_vm Format

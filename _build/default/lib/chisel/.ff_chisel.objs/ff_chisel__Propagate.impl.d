@@ -1,0 +1,1 @@
+lib/chisel/propagate.ml: Affine Array Ff_ir Ff_sensitivity Ff_vm Format Golden List

@@ -1,0 +1,1 @@
+lib/chisel/propagate.mli: Affine Ff_sensitivity Ff_vm Format

@@ -1,0 +1,1 @@
+lib/core/adjust.ml: Knapsack Pipeline Valuation

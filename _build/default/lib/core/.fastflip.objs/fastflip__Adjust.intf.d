@@ -1,0 +1,1 @@
+lib/core/adjust.mli: Pipeline Valuation

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Campaign Ff_inject Ff_vm Knapsack Valuation

@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Ff_inject Ff_vm Knapsack Valuation

@@ -1,0 +1,1 @@
+lib/core/compare.ml: Baseline Knapsack List Pipeline String Valuation

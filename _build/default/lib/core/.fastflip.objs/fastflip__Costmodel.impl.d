@@ -1,0 +1,1 @@
+lib/core/costmodel.ml: Array Ff_inject Ff_ir Ff_vm Hashtbl Knapsack List Option Printf Valuation

@@ -1,0 +1,1 @@
+lib/core/costmodel.mli: Ff_inject Ff_vm Knapsack Valuation

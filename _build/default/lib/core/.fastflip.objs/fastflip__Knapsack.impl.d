@@ -1,0 +1,1 @@
+lib/core/knapsack.ml: Array Bytes Char Ff_inject List Valuation

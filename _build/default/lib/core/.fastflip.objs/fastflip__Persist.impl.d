@@ -1,0 +1,1 @@
+lib/core/persist.ml: Array Buffer Char Ff_inject Ff_sensitivity Int64 List Store String

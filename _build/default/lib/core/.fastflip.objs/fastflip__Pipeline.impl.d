@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Campaign Eqclass Ff_chisel Ff_inject Ff_ir Ff_sensitivity Ff_support Ff_vm Knapsack Site Store Valuation

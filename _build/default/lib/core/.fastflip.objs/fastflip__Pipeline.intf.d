@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Ff_chisel Ff_inject Ff_ir Ff_vm Knapsack Store Valuation

@@ -1,0 +1,1 @@
+lib/core/store.ml: Ff_inject Ff_sensitivity Hashtbl

@@ -1,0 +1,1 @@
+lib/core/store.mli: Ff_inject Ff_sensitivity

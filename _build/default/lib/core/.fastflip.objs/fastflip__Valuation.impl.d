@@ -1,0 +1,1 @@
+lib/core/valuation.ml: Array Campaign Eqclass Ff_chisel Ff_inject Ff_ir Ff_vm Hashtbl List Option Outcome Site

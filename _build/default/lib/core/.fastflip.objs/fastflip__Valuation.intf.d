@@ -1,0 +1,1 @@
+lib/core/valuation.mli: Ff_chisel Ff_inject Ff_vm

@@ -1,0 +1,26 @@
+open Ff_inject
+module Golden = Ff_vm.Golden
+
+type t = {
+  golden : Golden.t;
+  result : Campaign.baseline_result;
+  valuation : Valuation.t;
+  solution : Knapsack.solution;
+  work : int;
+}
+
+let analyze config ~epsilon golden =
+  let result = Campaign.run_baseline golden config in
+  let valuation = Valuation.of_baseline golden ~baseline:result ~epsilon in
+  let solution = Knapsack.solve (Knapsack.items_of_valuation valuation) in
+  { golden; result; valuation; solution; work = result.Campaign.b_work }
+
+let revaluate t ~epsilon =
+  let valuation = Valuation.of_baseline t.golden ~baseline:t.result ~epsilon in
+  let solution = Knapsack.solve (Knapsack.items_of_valuation valuation) in
+  { t with valuation; solution }
+
+let select t ~target =
+  let total = float_of_int t.valuation.Valuation.total_value in
+  let integer_target = int_of_float (ceil (target *. total)) in
+  Knapsack.select t.solution ~target:integer_target

@@ -1,0 +1,24 @@
+(** The monolithic Approxilyzer-only baseline (paper §5.6).
+
+    Treats the whole execution as one section: whole-trace equivalence
+    classes, end-to-end injections, direct SDC-Bad labeling of the final
+    outputs. No part of it is reusable across program versions — the
+    whole campaign reruns every time, which is the cost FastFlip
+    amortizes away. *)
+
+type t = {
+  golden : Ff_vm.Golden.t;
+  result : Ff_inject.Campaign.baseline_result;
+  valuation : Valuation.t;
+  solution : Knapsack.solution;
+  work : int;
+}
+
+val analyze : Ff_inject.Campaign.config -> epsilon:float -> Ff_vm.Golden.t -> t
+
+val revaluate : t -> epsilon:float -> t
+(** Re-label stored outcomes under a different ε (no new injections). *)
+
+val select : t -> target:float -> Knapsack.selection
+(** Cheapest selection achieving a fractional target of the baseline's
+    own value mass. *)

@@ -1,0 +1,56 @@
+type row = {
+  target : float;
+  used_target : float;
+  ff_selection : Knapsack.selection;
+  base_selection : Knapsack.selection;
+  achieved : float;
+  ff_cost : float;
+  base_cost : float;
+  cost_diff : float;
+  error_range : float;
+  acceptable : bool;
+}
+
+let row ~ff ~base ~inaccuracy ~target ~used_target =
+  let ff_selection = Pipeline.select ff ~target:used_target in
+  let base_selection = Baseline.select base ~target in
+  let ground_truth = base.Baseline.valuation in
+  let achieved =
+    Valuation.value_fraction ground_truth ~selected:ff_selection.Knapsack.pcs
+  in
+  let ff_cost =
+    Valuation.cost_fraction ground_truth ~selected:ff_selection.Knapsack.pcs
+  in
+  let base_cost =
+    Valuation.cost_fraction ground_truth ~selected:base_selection.Knapsack.pcs
+  in
+  let pruned =
+    Valuation.pruned_bad_fraction ground_truth ~selected:ff_selection.Knapsack.pcs
+  in
+  (* Pilot mispredictions cut both ways; only about half of them can
+     inflate the achieved value, so the one-sided acceptance band uses
+     half the benchmark's pilot inaccuracy rate. *)
+  let error_range = 0.5 *. inaccuracy *. pruned *. achieved in
+  {
+    target;
+    used_target;
+    ff_selection;
+    base_selection;
+    achieved;
+    ff_cost;
+    base_cost;
+    cost_diff = ff_cost -. base_cost;
+    error_range;
+    acceptable = achieved >= target -. error_range;
+  }
+
+let rows ~ff ~base ~inaccuracy ~targets =
+  List.map (fun (target, used_target) -> row ~ff ~base ~inaccuracy ~target ~used_target) targets
+
+let default_inaccuracy name =
+  match String.lowercase_ascii name with
+  | "fft" -> 0.03
+  | "lud" -> 0.04
+  | "bscholes" -> 0.10
+  | "campipe" | "sha2" -> 0.04
+  | _ -> 0.04

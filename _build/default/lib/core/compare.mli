@@ -1,0 +1,49 @@
+(** Utility comparison of FastFlip against the monolithic baseline
+    (paper §4.10 metrics, Tables 2 and 4).
+
+    Both analyses select instructions for the same target; FastFlip's
+    selection is then measured against the baseline's ground-truth labels:
+    {ul
+    {- achieved value v_achv: baseline-label value mass of FastFlip's
+       selection (v_loss = v_trgt − v_achv);}
+    {- protection cost: dynamic-instance mass of each selection, as a
+       fraction of the whole trace; c_exc = c_FF − c_Base;}
+    {- the §5.6 value error range from pilot-prediction inaccuracy,
+       deciding whether an undershoot is still acceptable.}} *)
+
+type row = {
+  target : float;             (** v_trgt *)
+  used_target : float;        (** the (possibly adjusted) v'_trgt FastFlip
+                                  actually selected with *)
+  ff_selection : Knapsack.selection;
+  base_selection : Knapsack.selection;
+  achieved : float;           (** v_achv of FastFlip's selection *)
+  ff_cost : float;            (** fraction of dynamic instructions *)
+  base_cost : float;
+  cost_diff : float;          (** c_exc = ff_cost − base_cost *)
+  error_range : float;        (** half-width of the §5.6 value error range *)
+  acceptable : bool;          (** achieved ≥ target − error_range *)
+}
+
+val row :
+  ff:Pipeline.analysis ->
+  base:Baseline.t ->
+  inaccuracy:float ->
+  target:float ->
+  used_target:float ->
+  row
+(** Build one comparison row. [inaccuracy] is the benchmark-specific
+    pilot-prediction inaccuracy (3-10%, from Approxilyzer's Figure 5). *)
+
+val rows :
+  ff:Pipeline.analysis ->
+  base:Baseline.t ->
+  inaccuracy:float ->
+  targets:(float * float) list ->
+  row list
+(** One row per (target, used_target) pair. *)
+
+val default_inaccuracy : string -> float
+(** Benchmark-name → pilot inaccuracy used by the paper: FFT 3%, LUD 4%,
+    BScholes 10%, Campipe and SHA2 4% (the Approxilyzer average);
+    unknown names get 4%. *)

@@ -1,0 +1,82 @@
+module Site = Ff_inject.Site
+
+type item = {
+  pc : Site.pc;
+  value : int;
+  cost : int;
+}
+
+type solution = {
+  items : item array;
+  dp : int array;         (** dp.(v): min cost to reach value >= v *)
+  take : Bytes.t array;   (** take.(i) bit v: item i improved dp.(v) *)
+  total_value : int;
+}
+
+let infinite_cost = max_int / 2
+
+let bit_get bytes v = Char.code (Bytes.get bytes (v lsr 3)) land (1 lsl (v land 7)) <> 0
+
+let bit_set bytes v =
+  let i = v lsr 3 in
+  Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lor (1 lsl (v land 7))))
+
+let solve items =
+  let items =
+    List.filter (fun item -> item.value > 0) items
+    |> List.sort (fun a b -> Site.compare_pc a.pc b.pc)
+    |> Array.of_list
+  in
+  let total_value = Array.fold_left (fun acc item -> acc + item.value) 0 items in
+  let dp = Array.make (total_value + 1) infinite_cost in
+  dp.(0) <- 0;
+  let bytes_per_row = (total_value / 8) + 1 in
+  let take = Array.map (fun _ -> Bytes.make bytes_per_row '\000') items in
+  Array.iteri
+    (fun i item ->
+      let row = take.(i) in
+      for v = total_value downto 1 do
+        let prev = dp.(max 0 (v - item.value)) in
+        if prev < infinite_cost then begin
+          let candidate = prev + item.cost in
+          if candidate < dp.(v) then begin
+            dp.(v) <- candidate;
+            bit_set row v
+          end
+        end
+      done)
+    items;
+  { items; dp; take; total_value }
+
+let max_value s = s.total_value
+
+type selection = {
+  pcs : Site.pc list;
+  value : int;
+  cost : int;
+}
+
+let select s ~target =
+  if target <= 0 then { pcs = []; value = 0; cost = 0 }
+  else begin
+    let target = min target s.total_value in
+    let v = ref target in
+    let pcs = ref [] in
+    let value = ref 0 in
+    let cost = ref 0 in
+    for i = Array.length s.items - 1 downto 0 do
+      if !v > 0 && bit_get s.take.(i) !v then begin
+        let item = s.items.(i) in
+        pcs := item.pc :: !pcs;
+        value := !value + item.value;
+        cost := !cost + item.cost;
+        v := max 0 (!v - item.value)
+      end
+    done;
+    { pcs = !pcs; value = !value; cost = !cost }
+  end
+
+let items_of_valuation (valuation : Valuation.t) =
+  List.map
+    (fun (pc, value) -> { pc; value; cost = Valuation.cost_of valuation pc })
+    valuation.Valuation.values

@@ -1,0 +1,36 @@
+(** 0-1 knapsack selection of instructions to protect (paper §4.6).
+
+    Minimize total protection cost subject to total protection value ≥ a
+    target, by dynamic programming over the (integer) value dimension.
+    One {!solve} supports extraction at every target — FastFlip sweeps a
+    range of targets (the ε-constraint method) and the adaptive target
+    adjustment probes many candidates, all against the same DP table. *)
+
+type item = {
+  pc : Ff_inject.Site.pc;
+  value : int;  (** SDC-Bad site count at this pc; items with 0 value are
+                    never selected *)
+  cost : int;   (** dynamic instances of this pc *)
+}
+
+type solution
+
+val solve : item list -> solution
+(** Build the DP table. O(Σvalue × #items) time. *)
+
+val max_value : solution -> int
+(** Σ of all item values: the largest reachable target. *)
+
+type selection = {
+  pcs : Ff_inject.Site.pc list;  (** chosen instructions, deterministic order *)
+  value : int;                   (** Σ value over the selection *)
+  cost : int;                    (** Σ cost over the selection *)
+}
+
+val select : solution -> target:int -> selection
+(** Cheapest selection with [value ≥ min target (max_value)]; a
+    non-positive target yields the empty selection. O(#items + target)
+    per call. *)
+
+val items_of_valuation : Valuation.t -> item list
+(** One item per pc that has any SDC-Bad value. *)

@@ -1,0 +1,293 @@
+module Site = Ff_inject.Site
+module Eqclass = Ff_inject.Eqclass
+module Outcome = Ff_inject.Outcome
+module Campaign = Ff_inject.Campaign
+module Sensitivity = Ff_sensitivity.Sensitivity
+
+let magic = "FFSTORE1"
+
+(* --- writer ---------------------------------------------------------------- *)
+
+let w_int64 buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+  done
+
+let w_int buf v = w_int64 buf (Int64.of_int v)
+let w_float buf v = w_int64 buf (Int64.bits_of_float v)
+
+let w_array buf w_elem arr =
+  w_int buf (Array.length arr);
+  Array.iter (w_elem buf) arr
+
+let w_list buf w_elem xs =
+  w_int buf (List.length xs);
+  List.iter (w_elem buf) xs
+
+let w_pc buf (pc : Site.pc) =
+  w_int buf pc.Site.kernel;
+  w_int buf pc.Site.instr
+
+let w_operand buf = function
+  | Site.Src i ->
+    w_int buf 0;
+    w_int buf i
+  | Site.Dst ->
+    w_int buf 1;
+    w_int buf 0
+
+let w_site buf (site : Site.t) =
+  w_int buf site.Site.section;
+  w_int buf site.Site.dyn;
+  w_pc buf site.Site.pc;
+  w_operand buf site.Site.operand;
+  w_int buf site.Site.bit
+
+let w_member buf (section, dyn) =
+  w_int buf section;
+  w_int buf dyn
+
+let w_class buf (cls : Eqclass.t) =
+  w_pc buf cls.Eqclass.pc;
+  w_operand buf cls.Eqclass.operand;
+  w_int buf cls.Eqclass.bit;
+  w_array buf w_member cls.Eqclass.members;
+  w_site buf cls.Eqclass.pilot
+
+let w_detected buf = function
+  | Outcome.Crash -> w_int buf 0
+  | Outcome.Timed_out -> w_int buf 1
+  | Outcome.Misformatted -> w_int buf 2
+
+let w_magnitude buf (idx, m) =
+  w_int buf idx;
+  w_float buf m
+
+let w_section_outcome buf = function
+  | Outcome.S_detected kind ->
+    w_int buf 0;
+    w_detected buf kind
+  | Outcome.S_sdc magnitudes ->
+    w_int buf 1;
+    w_array buf w_magnitude magnitudes
+
+let w_campaign buf (c : Campaign.section_result) =
+  w_int buf c.Campaign.section_index;
+  w_array buf
+    (fun buf (cls, outcome) ->
+      w_class buf cls;
+      w_section_outcome buf outcome)
+    c.Campaign.s_classes;
+  w_int buf c.Campaign.s_work;
+  w_int buf c.Campaign.s_injections;
+  w_int buf c.Campaign.s_sites
+
+let w_sensitivity buf (s : Sensitivity.t) =
+  w_int buf s.Sensitivity.section_index;
+  w_array buf w_int s.Sensitivity.input_buffers;
+  w_array buf w_int s.Sensitivity.output_buffers;
+  w_array buf (fun buf row -> w_array buf w_float row) s.Sensitivity.k;
+  w_int buf s.Sensitivity.samples_used;
+  w_int buf s.Sensitivity.work
+
+let w_record buf (r : Store.section_record) =
+  w_int64 buf r.Store.rec_key.Store.code_hash;
+  w_int64 buf r.Store.rec_key.Store.input_hash;
+  w_int64 buf r.Store.rec_key.Store.config_hash;
+  w_campaign buf r.Store.rec_campaign;
+  w_sensitivity buf r.Store.rec_sensitivity;
+  w_int buf r.Store.rec_work
+
+let save store ~path =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf magic;
+  w_list buf w_record (Store.records store);
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+(* --- reader ----------------------------------------------------------------- *)
+
+exception Corrupt of string
+
+type cursor = {
+  data : string;
+  mutable pos : int;
+}
+
+let r_int64 c =
+  if c.pos + 8 > String.length c.data then raise (Corrupt "truncated int64");
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c.data.[c.pos + i]))
+  done;
+  c.pos <- c.pos + 8;
+  !v
+
+let r_int c = Int64.to_int (r_int64 c)
+let r_float c = Int64.float_of_bits (r_int64 c)
+
+let r_length c what =
+  let n = r_int c in
+  if n < 0 || n > 100_000_000 then raise (Corrupt ("implausible length for " ^ what));
+  n
+
+let r_array c r_elem what =
+  let n = r_length c what in
+  Array.init n (fun _ -> r_elem c)
+
+let r_pc c =
+  let kernel = r_int c in
+  let instr = r_int c in
+  { Site.kernel; instr }
+
+let r_operand c =
+  match r_int c with
+  | 0 -> Site.Src (r_int c)
+  | 1 ->
+    ignore (r_int c);
+    Site.Dst
+  | _ -> raise (Corrupt "operand tag")
+
+let r_site c =
+  let section = r_int c in
+  let dyn = r_int c in
+  let pc = r_pc c in
+  let operand = r_operand c in
+  let bit = r_int c in
+  { Site.section; dyn; pc; operand; bit }
+
+let r_member c =
+  let section = r_int c in
+  let dyn = r_int c in
+  (section, dyn)
+
+let r_class c =
+  let pc = r_pc c in
+  let operand = r_operand c in
+  let bit = r_int c in
+  let members = r_array c r_member "class members" in
+  let pilot = r_site c in
+  { Eqclass.pc; operand; bit; members; pilot }
+
+let r_detected c =
+  match r_int c with
+  | 0 -> Outcome.Crash
+  | 1 -> Outcome.Timed_out
+  | 2 -> Outcome.Misformatted
+  | _ -> raise (Corrupt "detected tag")
+
+let r_magnitude c =
+  let idx = r_int c in
+  let m = r_float c in
+  (idx, m)
+
+let r_section_outcome c =
+  match r_int c with
+  | 0 -> Outcome.S_detected (r_detected c)
+  | 1 -> Outcome.S_sdc (r_array c r_magnitude "magnitudes")
+  | _ -> raise (Corrupt "outcome tag")
+
+let r_campaign c =
+  let section_index = r_int c in
+  let s_classes =
+    r_array c
+      (fun c ->
+        let cls = r_class c in
+        let outcome = r_section_outcome c in
+        (cls, outcome))
+      "classes"
+  in
+  let s_work = r_int c in
+  let s_injections = r_int c in
+  let s_sites = r_int c in
+  { Campaign.section_index; s_classes; s_work; s_injections; s_sites }
+
+let r_sensitivity c =
+  let section_index = r_int c in
+  let input_buffers = r_array c r_int "inputs" in
+  let output_buffers = r_array c r_int "outputs" in
+  let k = r_array c (fun c -> r_array c r_float "k row") "k" in
+  let samples_used = r_int c in
+  let work = r_int c in
+  { Sensitivity.section_index; input_buffers; output_buffers; k; samples_used; work }
+
+let r_record c =
+  let code_hash = r_int64 c in
+  let input_hash = r_int64 c in
+  let config_hash = r_int64 c in
+  let rec_campaign = r_campaign c in
+  let rec_sensitivity = r_sensitivity c in
+  let rec_work = r_int c in
+  {
+    Store.rec_key = { Store.code_hash; input_hash; config_hash };
+    rec_campaign;
+    rec_sensitivity;
+    rec_work;
+  }
+
+let load ~path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let data = really_input_string ic n in
+    close_in ic;
+    data
+  with
+  | exception Sys_error e -> Error e
+  | data -> (
+    if String.length data < String.length magic
+       || not (String.equal (String.sub data 0 (String.length magic)) magic)
+    then Error "not a FastFlip store file"
+    else begin
+      let c = { data; pos = String.length magic } in
+      try
+        let count = r_length c "record count" in
+        let store = Store.create () in
+        for _ = 1 to count do
+          Store.add store (r_record c)
+        done;
+        if c.pos <> String.length data then Error "trailing bytes in store file"
+        else Ok store
+      with Corrupt what -> Error ("corrupt store file: " ^ what)
+    end)
+
+(* --- structural equality (tests) --------------------------------------------- *)
+
+let float_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let outcome_equal a b =
+  match (a, b) with
+  | Outcome.S_detected x, Outcome.S_detected y -> x = y
+  | Outcome.S_sdc xs, Outcome.S_sdc ys ->
+    Array.length xs = Array.length ys
+    && Array.for_all2 (fun (i, m) (j, n) -> i = j && float_equal m n) xs ys
+  | Outcome.S_detected _, Outcome.S_sdc _ | Outcome.S_sdc _, Outcome.S_detected _ ->
+    false
+
+let sensitivity_equal (a : Sensitivity.t) (b : Sensitivity.t) =
+  a.Sensitivity.section_index = b.Sensitivity.section_index
+  && a.Sensitivity.input_buffers = b.Sensitivity.input_buffers
+  && a.Sensitivity.output_buffers = b.Sensitivity.output_buffers
+  && a.Sensitivity.samples_used = b.Sensitivity.samples_used
+  && a.Sensitivity.work = b.Sensitivity.work
+  && Array.length a.Sensitivity.k = Array.length b.Sensitivity.k
+  && Array.for_all2
+       (fun ra rb -> Array.length ra = Array.length rb && Array.for_all2 float_equal ra rb)
+       a.Sensitivity.k b.Sensitivity.k
+
+let roundtrip_equal (a : Store.section_record) (b : Store.section_record) =
+  a.Store.rec_key = b.Store.rec_key
+  && a.Store.rec_work = b.Store.rec_work
+  && a.Store.rec_campaign.Campaign.section_index
+     = b.Store.rec_campaign.Campaign.section_index
+  && a.Store.rec_campaign.Campaign.s_work = b.Store.rec_campaign.Campaign.s_work
+  && a.Store.rec_campaign.Campaign.s_injections
+     = b.Store.rec_campaign.Campaign.s_injections
+  && a.Store.rec_campaign.Campaign.s_sites = b.Store.rec_campaign.Campaign.s_sites
+  && Array.length a.Store.rec_campaign.Campaign.s_classes
+     = Array.length b.Store.rec_campaign.Campaign.s_classes
+  && Array.for_all2
+       (fun (ca, oa) (cb, ob) -> ca = cb && outcome_equal oa ob)
+       a.Store.rec_campaign.Campaign.s_classes b.Store.rec_campaign.Campaign.s_classes
+  && sensitivity_equal a.Store.rec_sensitivity b.Store.rec_sensitivity

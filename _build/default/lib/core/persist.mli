@@ -1,0 +1,23 @@
+(** On-disk persistence of the incremental analysis store.
+
+    FastFlip "records the analysis results for reuse on future program
+    versions" (§1); persisting the store across process runs makes the
+    incremental analysis usable from a CI job: load the store produced by
+    the previous commit's job, analyze, save.
+
+    The format is a private little-endian binary encoding (magic
+    ["FFSTORE1"]), versioned by the magic string; loading anything else
+    fails cleanly. Records are self-contained — section results, class
+    tables, outcomes, sensitivity matrices, and the (code, input, config)
+    keys that guard their reuse. *)
+
+val save : Store.t -> path:string -> unit
+(** Write every record of the store. Raises [Sys_error] on I/O failure. *)
+
+val load : path:string -> (Store.t, string) result
+(** Read a store written by {!save}. Returns [Error] on a missing file,
+    a bad magic string, or a truncated/corrupt encoding. *)
+
+val roundtrip_equal : Store.section_record -> Store.section_record -> bool
+(** Structural equality of two records (exposed for tests; floats compare
+    by bit pattern). *)

@@ -1,0 +1,165 @@
+open Ff_inject
+module Golden = Ff_vm.Golden
+module Dataflow = Ff_chisel.Dataflow
+module Propagate = Ff_chisel.Propagate
+module Sensitivity = Ff_sensitivity.Sensitivity
+module Kernel = Ff_ir.Kernel
+module Hashing = Ff_support.Hashing
+module Rng = Ff_support.Rng
+
+type config = {
+  campaign : Campaign.config;
+  sensitivity_samples : int;
+  max_perturbation : float;
+  safety_factor : float;
+  epsilon : float;
+  seed : int64;
+}
+
+let default_config =
+  {
+    campaign = Campaign.default_config;
+    sensitivity_samples = 200;
+    max_perturbation = 0.01;
+    safety_factor = 1.25;
+    epsilon = 0.0;
+    seed = 42L;
+  }
+
+type analysis = {
+  golden : Golden.t;
+  dataflow : Dataflow.t;
+  sections : Store.section_record array;
+  propagation : Propagate.t;
+  valuation : Valuation.t;
+  solution : Knapsack.solution;
+  work : int;
+  total_section_work : int;
+  sections_reused : int;
+  sections_analyzed : int;
+}
+
+(* A reused record may come from a version where the section sat at a
+   different schedule index; rewrite the indices to the current one. *)
+let rebase_record (record : Store.section_record) ~section_index =
+  if record.Store.rec_campaign.Campaign.section_index = section_index then record
+  else begin
+    let rebase_class (cls : Eqclass.t) =
+      {
+        cls with
+        Eqclass.members = Array.map (fun (_, dyn) -> (section_index, dyn)) cls.Eqclass.members;
+        pilot = { cls.Eqclass.pilot with Site.section = section_index };
+      }
+    in
+    let campaign =
+      {
+        record.Store.rec_campaign with
+        Campaign.section_index;
+        s_classes =
+          Array.map
+            (fun (cls, outcome) -> (rebase_class cls, outcome))
+            record.Store.rec_campaign.Campaign.s_classes;
+      }
+    in
+    let sensitivity =
+      { record.Store.rec_sensitivity with Sensitivity.section_index }
+    in
+    { record with Store.rec_campaign = campaign; rec_sensitivity = sensitivity }
+  end
+
+let section_key config (section : Golden.section_run) =
+  {
+    Store.code_hash = Kernel.code_hash section.Golden.kernel;
+    input_hash = section.Golden.input_hash;
+    config_hash =
+      Hashing.combine
+        (Campaign.config_hash config.campaign)
+        (let h = Hashing.create () in
+         Hashing.add_int h config.sensitivity_samples;
+         Hashing.add_float h config.max_perturbation;
+         Hashing.add_float h config.safety_factor;
+         Hashing.add_int64 h config.seed;
+         Hashing.value h);
+  }
+
+let analyze_section config golden ~section_index ~key =
+  let campaign = Campaign.run_section golden ~section_index config.campaign in
+  let rng =
+    Rng.create
+      (Hashing.combine config.seed
+         (Hashing.combine key.Store.code_hash key.Store.input_hash))
+  in
+  let sensitivity =
+    Sensitivity.estimate ~samples:config.sensitivity_samples
+      ~max_perturbation:config.max_perturbation ~safety_factor:config.safety_factor ~rng
+      golden ~section_index
+  in
+  {
+    Store.rec_key = key;
+    rec_campaign = campaign;
+    rec_sensitivity = sensitivity;
+    rec_work = campaign.Campaign.s_work + sensitivity.Sensitivity.work;
+  }
+
+let analyze ?store config program =
+  let golden = Golden.run program in
+  let dataflow = Dataflow.of_golden golden in
+  let work = ref 0 in
+  let total_section_work = ref 0 in
+  let reused = ref 0 in
+  let analyzed = ref 0 in
+  let sections =
+    Array.mapi
+      (fun section_index (section : Golden.section_run) ->
+        let key = section_key config section in
+        let cached =
+          match store with Some s -> Store.find s key | None -> None
+        in
+        match cached with
+        | Some record ->
+          incr reused;
+          total_section_work := !total_section_work + record.Store.rec_work;
+          rebase_record record ~section_index
+        | None ->
+          incr analyzed;
+          let record = analyze_section config golden ~section_index ~key in
+          (match store with Some s -> Store.add s record | None -> ());
+          work := !work + record.Store.rec_work;
+          total_section_work := !total_section_work + record.Store.rec_work;
+          rebase_record record ~section_index)
+      golden.Golden.sections
+  in
+  let specs = Array.map (fun r -> r.Store.rec_sensitivity) sections in
+  let propagation = Propagate.run golden ~specs in
+  let campaigns = Array.map (fun r -> r.Store.rec_campaign) sections in
+  let valuation =
+    Valuation.of_fastflip golden ~propagation ~sections:campaigns
+      ~epsilon:config.epsilon
+  in
+  let solution = Knapsack.solve (Knapsack.items_of_valuation valuation) in
+  {
+    golden;
+    dataflow;
+    sections;
+    propagation;
+    valuation;
+    solution;
+    work = !work;
+    total_section_work = !total_section_work;
+    sections_reused = !reused;
+    sections_analyzed = !analyzed;
+  }
+
+let select analysis ~target =
+  let total = float_of_int analysis.valuation.Valuation.total_value in
+  let integer_target = int_of_float (ceil (target *. total)) in
+  Knapsack.select analysis.solution ~target:integer_target
+
+let revaluate analysis ~epsilon =
+  let campaigns = Array.map (fun r -> r.Store.rec_campaign) analysis.sections in
+  let valuation =
+    Valuation.of_fastflip analysis.golden ~propagation:analysis.propagation
+      ~sections:campaigns ~epsilon
+  in
+  let solution = Knapsack.solve (Knapsack.items_of_valuation valuation) in
+  { analysis with valuation; solution }

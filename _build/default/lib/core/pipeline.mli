@@ -1,0 +1,52 @@
+(** The FastFlip analysis pipeline for one program version (paper §4,
+    Figure 2): per-section error injection + sensitivity analysis, both
+    served from the incremental {!Store} when possible; end-to-end Chisel
+    propagation; Algorithm-2 valuation; knapsack solution.
+
+    Analysis "time" is metered in dynamic instructions simulated. The
+    work reported for a version counts only sections actually re-analyzed
+    — reused sections cost nothing, which is FastFlip's speedup on
+    evolving programs (§6.2). *)
+
+type config = {
+  campaign : Ff_inject.Campaign.config;
+  sensitivity_samples : int;
+  max_perturbation : float;
+  safety_factor : float;
+  epsilon : float;       (** SDC-Bad threshold ε (0 = any SDC is bad) *)
+  seed : int64;          (** sensitivity RNG seed *)
+}
+
+val default_config : config
+(** Paper settings scaled down: default bit subset, 5× timeout, 200
+    sensitivity samples per input, perturbations up to 0.01, safety 1.25,
+    ε = 0, seed 42. *)
+
+type analysis = {
+  golden : Ff_vm.Golden.t;
+  dataflow : Ff_chisel.Dataflow.t;
+  sections : Store.section_record array;  (** one per schedule section *)
+  propagation : Ff_chisel.Propagate.t;
+  valuation : Valuation.t;
+  solution : Knapsack.solution;
+  work : int;             (** injection+sensitivity work spent on THIS run *)
+  total_section_work : int;  (** what a from-scratch run would have cost *)
+  sections_reused : int;
+  sections_analyzed : int;
+}
+
+val analyze : ?store:Store.t -> config -> Ff_ir.Program.t -> analysis
+(** Analyze one program version. With a [store], section results are
+    looked up by (code, input, config) hash and new results are added,
+    so analyzing a modified version after its parent re-injects only the
+    changed (and semantically affected) sections. *)
+
+val select : analysis -> target:float -> Knapsack.selection
+(** Knapsack selection for a fractional target v_trgt ∈ [0, 1] of this
+    analysis' own value mass. *)
+
+val revaluate : analysis -> epsilon:float -> analysis
+(** Re-label the stored injection outcomes under a different ε and
+    rebuild valuation + knapsack without any new injections (the paper
+    gets its ε = 0.01 results "for negligible additional analysis time",
+    §6.4). *)

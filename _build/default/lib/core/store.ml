@@ -1,0 +1,39 @@
+type key = {
+  code_hash : int64;
+  input_hash : int64;
+  config_hash : int64;
+}
+
+type section_record = {
+  rec_key : key;
+  rec_campaign : Ff_inject.Campaign.section_result;
+  rec_sensitivity : Ff_sensitivity.Sensitivity.t;
+  rec_work : int;
+}
+
+type t = {
+  table : (key, section_record) Hashtbl.t;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create () = { table = Hashtbl.create 64; hit_count = 0; miss_count = 0 }
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some record ->
+    t.hit_count <- t.hit_count + 1;
+    Some record
+  | None ->
+    t.miss_count <- t.miss_count + 1;
+    None
+
+let add t record = Hashtbl.replace t.table record.rec_key record
+
+let records t = Hashtbl.fold (fun _ record acc -> record :: acc) t.table []
+
+let size t = Hashtbl.length t.table
+
+let hits t = t.hit_count
+
+let misses t = t.miss_count

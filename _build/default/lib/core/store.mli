@@ -1,0 +1,42 @@
+(** The incremental analysis store (paper §4.7).
+
+    Per-section results are keyed by (kernel code hash, golden input-value
+    hash, campaign config hash). When developers modify a program, only
+    sections whose key changed — edited kernels, or downstream sections
+    whose golden inputs differ because an upstream section changed
+    semantics — miss in the store and must be re-analyzed; everything else
+    is reused at zero injection cost. Semantics-preserving modifications
+    therefore re-analyze exactly the edited sections. *)
+
+type key = {
+  code_hash : int64;
+  input_hash : int64;
+  config_hash : int64;
+}
+
+type section_record = {
+  rec_key : key;
+  rec_campaign : Ff_inject.Campaign.section_result;
+  rec_sensitivity : Ff_sensitivity.Sensitivity.t;
+  rec_work : int;  (** injection + sensitivity work this record cost *)
+}
+
+type t
+
+val create : unit -> t
+
+val find : t -> key -> section_record option
+
+val add : t -> section_record -> unit
+(** Last write wins on key collisions. *)
+
+val records : t -> section_record list
+(** Every stored record, in unspecified order (used by {!Persist}). *)
+
+val size : t -> int
+
+val hits : t -> int
+(** Number of successful {!find}s since creation (telemetry for tests
+    and reports). *)
+
+val misses : t -> int

@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Array Defs Experiments Fastflip Ff_benchmarks Ff_inject Ff_lang Ff_support List Printf

@@ -1,0 +1,1 @@
+lib/harness/evolution.ml: Array Defs Fastflip Ff_benchmarks Ff_ir Ff_lang Ff_support List Option Printf String

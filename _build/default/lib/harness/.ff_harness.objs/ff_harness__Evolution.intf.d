@@ -1,0 +1,1 @@
+lib/harness/evolution.mli: Fastflip Ff_benchmarks

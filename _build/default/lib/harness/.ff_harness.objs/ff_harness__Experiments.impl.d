@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Defs Fastflip Ff_benchmarks Ff_ir Ff_lang List

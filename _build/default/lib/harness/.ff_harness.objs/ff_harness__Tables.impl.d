@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Array Buffer Defs Experiments Fastflip Ff_benchmarks Ff_chisel Ff_inject Ff_support Ff_vm Float Format Hashtbl List Printf String

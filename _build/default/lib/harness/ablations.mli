@@ -1,0 +1,17 @@
+(** Ablations of the design choices DESIGN.md calls out.
+
+    {ul
+    {- {!cost_models}: how the §4.8 protection-cost model changes the
+       cost of hitting the same target — per-instruction duplication vs
+       DRIFT-style clustered checks vs per-kernel block detectors.}
+    {- {!burst}: the single-event-upset assumption — outcome distribution
+       and SDC-Bad value mass under 1-, 2- and 4-bit burst flips.}
+    {- {!pruning}: what equivalence-class pruning buys — pilots injected
+       vs total sites covered, per analysis.}} *)
+
+val cost_models : Experiments.benchmark_run list -> string
+
+val burst :
+  ?config:Fastflip.Pipeline.config -> Ff_benchmarks.Defs.t -> string
+
+val pruning : Experiments.benchmark_run list -> string

@@ -1,0 +1,86 @@
+open Ff_benchmarks
+module Pipeline = Fastflip.Pipeline
+module Baseline = Fastflip.Baseline
+module Adjust = Fastflip.Adjust
+module Compare = Fastflip.Compare
+
+type version_result = {
+  version : Defs.version;
+  program : Ff_ir.Program.t;
+  ff : Pipeline.analysis;
+  base : Baseline.t;
+  ff_work : int;
+  base_work : int;
+}
+
+type benchmark_run = {
+  bench : Defs.t;
+  results : version_result list;
+  adjusted_targets : (float * float) list;
+}
+
+let standard_targets = [ 0.90; 0.95; 0.99 ]
+
+let run_version config store bench version =
+  let program = Ff_lang.Frontend.compile_exn (bench.Defs.source version) in
+  let ff = Pipeline.analyze ~store config program in
+  let base =
+    Baseline.analyze config.Pipeline.campaign ~epsilon:config.Pipeline.epsilon
+      ff.Pipeline.golden
+  in
+  {
+    version;
+    program;
+    ff;
+    base;
+    ff_work = ff.Pipeline.work;
+    base_work = base.Baseline.work;
+  }
+
+let adjusted_targets_for ~ff ~ground_truth =
+  List.map
+    (fun target ->
+      (target, Adjust.compute_adjusted_target ~ff ~ground_truth ~target))
+    standard_targets
+
+let run_benchmark ?(config = Pipeline.default_config) ?(versions = Defs.all_versions)
+    bench =
+  let store = Fastflip.Store.create () in
+  let results = List.map (run_version config store bench) versions in
+  let adjusted_targets =
+    match results with
+    | [] -> List.map (fun t -> (t, t)) standard_targets
+    | first :: _ ->
+      adjusted_targets_for ~ff:first.ff ~ground_truth:first.base.Baseline.valuation
+  in
+  { bench; results; adjusted_targets }
+
+let utility_rows ?(adjusted = true) run result =
+  let targets =
+    if adjusted then run.adjusted_targets
+    else List.map (fun t -> (t, t)) standard_targets
+  in
+  Compare.rows ~ff:result.ff ~base:result.base ~inaccuracy:run.bench.Defs.inaccuracy
+    ~targets
+
+let utility_rows_at ?(adjusted = true) ~epsilon run result =
+  let relabel (r : version_result) =
+    ( Pipeline.revaluate r.ff ~epsilon,
+      Baseline.revaluate r.base ~epsilon )
+  in
+  let ff, base = relabel result in
+  let targets =
+    if not adjusted then List.map (fun t -> (t, t)) standard_targets
+    else begin
+      match run.results with
+      | [] -> List.map (fun t -> (t, t)) standard_targets
+      | first :: _ ->
+        let ff0, base0 = relabel first in
+        adjusted_targets_for ~ff:ff0 ~ground_truth:base0.Baseline.valuation
+    end
+  in
+  Compare.rows ~ff ~base ~inaccuracy:run.bench.Defs.inaccuracy ~targets
+
+let speedup result =
+  if result.ff_work = 0 then infinity
+  else float_of_int result.base_work /. float_of_int result.ff_work

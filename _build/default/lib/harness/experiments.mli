@@ -1,0 +1,47 @@
+(** Experiment runner: analyzes benchmark versions with FastFlip and the
+    monolithic baseline, maintaining the incremental store across versions
+    and the paper's adjusted targets across modifications (§4.10). *)
+
+type version_result = {
+  version : Ff_benchmarks.Defs.version;
+  program : Ff_ir.Program.t;
+  ff : Fastflip.Pipeline.analysis;
+  base : Fastflip.Baseline.t;
+  ff_work : int;    (** injection+sensitivity work this version cost FastFlip *)
+  base_work : int;  (** the baseline's (non-reusable) campaign work *)
+}
+
+type benchmark_run = {
+  bench : Ff_benchmarks.Defs.t;
+  results : version_result list;  (** None, Small, Large in order *)
+  adjusted_targets : (float * float) list;
+  (** (v_trgt, v'_trgt) computed on the unmodified version and reused for
+      the modified ones *)
+}
+
+val standard_targets : float list
+(** 0.90, 0.95, 0.99 (§5.6). *)
+
+val run_benchmark :
+  ?config:Fastflip.Pipeline.config ->
+  ?versions:Ff_benchmarks.Defs.version list ->
+  Ff_benchmarks.Defs.t ->
+  benchmark_run
+(** Analyze the requested versions (default: all three) sharing one
+    incremental store; compute adjusted targets on the first version. *)
+
+val utility_rows :
+  ?adjusted:bool -> benchmark_run -> version_result -> Fastflip.Compare.row list
+(** The Table 2 rows of one version: one row per standard target, using
+    the run's adjusted targets (or the raw targets when [adjusted] is
+    false — the Table 4 ablation). *)
+
+val utility_rows_at :
+  ?adjusted:bool -> epsilon:float -> benchmark_run -> version_result ->
+  Fastflip.Compare.row list
+(** Same, after re-labeling both analyses under a different ε (§6.4).
+    Adjusted targets are recomputed on the unmodified version's ε-relabeled
+    analyses. *)
+
+val speedup : version_result -> float
+(** base_work / ff_work. *)

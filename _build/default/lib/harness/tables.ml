@@ -1,0 +1,271 @@
+open Ff_benchmarks
+module Table = Ff_support.Table
+module Stats = Ff_support.Stats
+module Pipeline = Fastflip.Pipeline
+module Baseline = Fastflip.Baseline
+module Compare = Fastflip.Compare
+module Site = Ff_inject.Site
+module Campaign = Ff_inject.Campaign
+module Golden = Ff_vm.Golden
+
+let unmodified run =
+  match run.Experiments.results with
+  | first :: _ -> first
+  | [] -> failwith "Tables: benchmark run has no results"
+
+let table1 runs =
+  let t =
+    Table.create ~title:"Table 1. Benchmarks (error sites under the configured bit subset)."
+      [
+        ("Benchmark", Table.Left);
+        ("Input size", Table.Left);
+        ("Sections", Table.Left);
+        ("Trace (dyn instrs)", Table.Right);
+        ("# Error Sites (|J|)", Table.Right);
+      ]
+  in
+  List.iter
+    (fun run ->
+      let result = unmodified run in
+      let golden = result.Experiments.ff.Pipeline.golden in
+      let bits = Pipeline.default_config.Pipeline.campaign.Campaign.bits in
+      let sites =
+        Array.fold_left
+          (fun acc section -> acc + Site.count_section section bits)
+          0 golden.Golden.sections
+      in
+      Table.add_row t
+        [
+          run.Experiments.bench.Defs.name;
+          run.Experiments.bench.Defs.input_desc;
+          run.Experiments.bench.Defs.sections_desc;
+          string_of_int golden.Golden.total_dyn;
+          Printf.sprintf "%.1fK" (float_of_int sites /. 1000.0);
+        ])
+    runs;
+  Table.render t
+
+let check_mark row = if row.Compare.acceptable then "*" else "x"
+
+let table2 ?(epsilon_label = "eps = 0 (all SDCs are SDC-Bad)") row_fn runs =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Table 2. FastFlip vs Approxilyzer-style baseline utility, %s.\n\
+            Value = achieved value of FastFlip's selection under ground-truth labels\n\
+            (* = within FastFlip's value error range); Cost (diff) = FastFlip's\n\
+            protection cost as a fraction of dynamic instructions (excess over the\n\
+            baseline's selection)."
+           epsilon_label)
+      ([ ("Benchmark", Table.Left); ("Modif.", Table.Left) ]
+      @ List.concat_map
+          (fun target ->
+            [
+              (Printf.sprintf "Value@%.2f" target, Table.Right);
+              ("Cost (diff)", Table.Right);
+            ])
+          Experiments.standard_targets)
+  in
+  let all_costs = Hashtbl.create 8 in
+  List.iter
+    (fun run ->
+      List.iter
+        (fun result ->
+          let rows = row_fn run result in
+          let cells =
+            List.concat_map
+              (fun row ->
+                Hashtbl.replace all_costs
+                  (row.Compare.target, run.Experiments.bench.Defs.name,
+                   result.Experiments.version)
+                  row.Compare.ff_cost;
+                [
+                  Printf.sprintf "%.3f%s" row.Compare.achieved (check_mark row);
+                  Printf.sprintf "%.3f (%+.3f)" row.Compare.ff_cost row.Compare.cost_diff;
+                ])
+              rows
+          in
+          Table.add_row t
+            ([
+               run.Experiments.bench.Defs.name;
+               Defs.version_name result.Experiments.version;
+             ]
+            @ cells))
+        run.Experiments.results;
+      Table.add_separator t)
+    runs;
+  let geomeans =
+    List.map
+      (fun target ->
+        let costs =
+          Hashtbl.fold
+            (fun (t', _, _) cost acc -> if t' = target then cost :: acc else acc)
+            all_costs []
+          |> List.filter (fun c -> c > 0.0)
+        in
+        Printf.sprintf "geomean cost @%.2f: %.3f" target
+          (if costs = [] then 0.0 else Stats.geomean costs))
+      Experiments.standard_targets
+  in
+  Table.render t ^ "\n" ^ String.concat "   " geomeans ^ "\n"
+
+let mega work = Printf.sprintf "%.1f" (float_of_int work /. 1.0e6)
+
+let table3 runs =
+  let t =
+    Table.create
+      ~title:
+        "Table 3. Analysis work comparison (mega-instructions simulated; the\n\
+         deterministic stand-in for the paper's core-hours)."
+      [
+        ("Bench.", Table.Left);
+        ("Modif.", Table.Left);
+        ("FastFlip (Mi)", Table.Right);
+        ("Baseline (Mi)", Table.Right);
+        ("Speedup", Table.Right);
+        ("Sections reused", Table.Right);
+      ]
+  in
+  let modified_speedups = ref [] in
+  List.iter
+    (fun run ->
+      List.iter
+        (fun result ->
+          let speedup = Experiments.speedup result in
+          if result.Experiments.version <> Defs.V_none then
+            modified_speedups := speedup :: !modified_speedups;
+          Table.add_row t
+            [
+              run.Experiments.bench.Defs.name;
+              Defs.version_name result.Experiments.version;
+              mega result.Experiments.ff_work;
+              mega result.Experiments.base_work;
+              Printf.sprintf "%.1fx" speedup;
+              Printf.sprintf "%d/%d"
+                result.Experiments.ff.Pipeline.sections_reused
+                (result.Experiments.ff.Pipeline.sections_reused
+                + result.Experiments.ff.Pipeline.sections_analyzed);
+            ])
+        run.Experiments.results;
+      Table.add_separator t)
+    runs;
+  let geo =
+    match !modified_speedups with [] -> 0.0 | s -> Stats.geomean s
+  in
+  Table.render t
+  ^ Printf.sprintf "\ngeomean speedup on modified versions: %.1fx   max: %.1fx\n" geo
+      (match !modified_speedups with [] -> 0.0 | s -> snd (Stats.min_max s))
+
+let table4 campipe_run =
+  let t =
+    Table.create
+      ~title:
+        "Table 4. Campipe utility WITHOUT target adjustment (x = outside the\n\
+         value error range; inter-section masking in the clamping tone-map\n\
+         makes FastFlip's labels conservative, cf. paper Section 6.3)."
+      ([ ("Benchmark", Table.Left); ("Modif.", Table.Left) ]
+      @ List.map
+          (fun target -> (Printf.sprintf "Value@%.2f" target, Table.Right))
+          Experiments.standard_targets)
+  in
+  List.iter
+    (fun result ->
+      let rows = Experiments.utility_rows ~adjusted:false campipe_run result in
+      Table.add_row t
+        ([
+           campipe_run.Experiments.bench.Defs.name;
+           Defs.version_name result.Experiments.version;
+         ]
+        @ List.map
+            (fun row -> Printf.sprintf "%.3f%s" row.Compare.achieved (check_mark row))
+            rows))
+    campipe_run.Experiments.results;
+  Table.render t
+
+let ascii_curve ~width ~height ~lo ~hi series =
+  (* series: (label char, (x, y) list); x in [0,1] order assumed shared *)
+  let grid = Array.make_matrix height width ' ' in
+  List.iter
+    (fun (mark, points) ->
+      let n = List.length points in
+      List.iteri
+        (fun i (_, y) ->
+          let col = if n <= 1 then 0 else i * (width - 1) / (n - 1) in
+          let frac = (y -. lo) /. (hi -. lo) in
+          let row = int_of_float (Float.round (frac *. float_of_int (height - 1))) in
+          let row = max 0 (min (height - 1) row) in
+          let row = height - 1 - row in
+          if grid.(row).(col) = ' ' || grid.(row).(col) = mark then
+            grid.(row).(col) <- mark
+          else grid.(row).(col) <- '#')
+        points)
+    series;
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun i row ->
+      let y = hi -. ((hi -. lo) *. float_of_int i /. float_of_int (height - 1)) in
+      Buffer.add_string buf (Printf.sprintf "%6.3f |" y);
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf ("       +" ^ String.make width '-' ^ "\n");
+  Buffer.contents buf
+
+let figure1 ?targets run =
+  let result = unmodified run in
+  let targets =
+    match targets with
+    | Some t -> t
+    | None -> List.init 21 (fun i -> 0.90 +. (0.005 *. float_of_int i))
+  in
+  let ff = result.Experiments.ff in
+  let base = result.Experiments.base in
+  let rows =
+    List.map
+      (fun target ->
+        let used_target =
+          Fastflip.Adjust.compute_adjusted_target ~ff
+            ~ground_truth:base.Baseline.valuation ~target
+        in
+        Compare.row ~ff ~base ~inaccuracy:run.Experiments.bench.Defs.inaccuracy ~target
+          ~used_target)
+      targets
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Figure 1 (%s, unmodified). End-to-end SDC specification (Equation 2 form):\n"
+       run.Experiments.bench.Defs.name);
+  Buffer.add_string buf
+    (Format.asprintf "%a\n" Ff_chisel.Propagate.pp ff.Pipeline.propagation);
+  Buffer.add_string buf "\nTarget  Achieved  FF-cost  Base-cost\n";
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.3f   %.4f    %.4f   %.4f\n" row.Compare.target
+           row.Compare.achieved row.Compare.ff_cost row.Compare.base_cost))
+    rows;
+  Buffer.add_string buf
+    "\nTop: achieved value vs target (marker v; the diagonal is the target itself).\n";
+  let value_series =
+    [
+      ('v', List.map (fun r -> (r.Compare.target, r.Compare.achieved)) rows);
+      ('.', List.map (fun r -> (r.Compare.target, r.Compare.target)) rows);
+    ]
+  in
+  Buffer.add_string buf (ascii_curve ~width:63 ~height:11 ~lo:0.88 ~hi:1.0 value_series);
+  Buffer.add_string buf
+    "\nBottom: protection cost vs target (f = FastFlip, b = baseline, # = overlap).\n";
+  let costs = List.concat_map (fun r -> [ r.Compare.ff_cost; r.Compare.base_cost ]) rows in
+  let lo, hi = Stats.min_max costs in
+  let pad = Float.max 0.01 ((hi -. lo) *. 0.1) in
+  let cost_series =
+    [
+      ('f', List.map (fun r -> (r.Compare.target, r.Compare.ff_cost)) rows);
+      ('b', List.map (fun r -> (r.Compare.target, r.Compare.base_cost)) rows);
+    ]
+  in
+  Buffer.add_string buf
+    (ascii_curve ~width:63 ~height:13 ~lo:(lo -. pad) ~hi:(hi +. pad) cost_series);
+  Buffer.contents buf

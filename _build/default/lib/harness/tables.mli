@@ -1,0 +1,31 @@
+(** Renderers for every table and figure in the paper's evaluation.
+
+    Each function takes pre-computed {!Experiments.benchmark_run}s and
+    returns the rendered text, so the benchmark executable can run the
+    expensive analyses once and print all artifacts. *)
+
+val table1 : Experiments.benchmark_run list -> string
+(** Table 1: benchmark, input size, sections, #error sites |J| (under the
+    configured bit subset) — plus the golden trace length. *)
+
+val table2 : ?epsilon_label:string -> (Experiments.benchmark_run ->
+  Experiments.version_result -> Fastflip.Compare.row list) ->
+  Experiments.benchmark_run list -> string
+(** Table 2 (and its §6.4 variant): utility comparison per version and
+    target; also prints the geomean protection costs. The row function
+    lets the caller choose plain / adjusted / ε-relabeled rows. *)
+
+val table3 : Experiments.benchmark_run list -> string
+(** Table 3: analysis work (Mega-instructions simulated) for FastFlip vs
+    the baseline, speedups, and the geomean speedup over modified
+    versions. *)
+
+val table4 : Experiments.benchmark_run -> string
+(** Table 4: Campipe without target adjustment. *)
+
+val figure1 :
+  ?targets:float list -> Experiments.benchmark_run -> string
+(** Figure 1 for the unmodified version of a run (the paper uses LUD):
+    achieved value and protection costs over a sweep of targets, as
+    aligned series plus ASCII curves, preceded by the Equation-2-style
+    end-to-end SDC specification. *)

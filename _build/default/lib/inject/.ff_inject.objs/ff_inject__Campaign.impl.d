@@ -1,0 +1,1 @@
+lib/inject/campaign.ml: Array Eqclass Ff_support Ff_vm Golden List Outcome Replay Site

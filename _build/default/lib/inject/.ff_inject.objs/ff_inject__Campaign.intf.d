@@ -1,0 +1,1 @@
+lib/inject/campaign.mli: Eqclass Ff_vm Outcome Site

@@ -1,0 +1,1 @@
+lib/inject/eqclass.ml: Array Ff_ir Ff_vm Golden Hashtbl Kernel List Site

@@ -1,0 +1,1 @@
+lib/inject/eqclass.mli: Ff_vm Site

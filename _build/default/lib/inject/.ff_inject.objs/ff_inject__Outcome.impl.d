@@ -1,0 +1,1 @@
+lib/inject/outcome.ml: Array Ff_vm Format List Printf Replay String

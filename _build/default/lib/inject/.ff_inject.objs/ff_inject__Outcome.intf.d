@@ -1,0 +1,1 @@
+lib/inject/outcome.mli: Ff_vm Format

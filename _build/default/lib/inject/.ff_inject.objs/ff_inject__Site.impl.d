@@ -1,0 +1,1 @@
+lib/inject/site.ml: Array Ff_ir Ff_vm Format Fun Golden Instr Kernel List Machine

@@ -1,0 +1,1 @@
+lib/inject/site.mli: Ff_ir Ff_vm Format

@@ -1,0 +1,97 @@
+open Ff_vm
+module Hashing = Ff_support.Hashing
+
+type config = {
+  bits : Site.bit_policy;
+  timeout_factor : float;
+  burst : int;
+}
+
+let default_config = { bits = Site.default_bits; timeout_factor = 5.0; burst = 1 }
+
+let config_hash config =
+  let h = Hashing.create () in
+  List.iter (Hashing.add_int h) (Site.bits_of_policy config.bits);
+  Hashing.add_float h config.timeout_factor;
+  Hashing.add_int h config.burst;
+  Hashing.value h
+
+type section_result = {
+  section_index : int;
+  s_classes : (Eqclass.t * Outcome.section_outcome) array;
+  s_work : int;
+  s_injections : int;
+  s_sites : int;
+}
+
+let run_section golden ~section_index config =
+  let section = golden.Golden.sections.(section_index) in
+  let classes = Eqclass.for_section section config.bits in
+  let work = ref 0 in
+  let results =
+    List.map
+      (fun cls ->
+        let injection = Site.machine_injection cls.Eqclass.pilot in
+        let replay =
+          Replay.run_section ~burst:config.burst golden section injection
+            ~timeout_factor:config.timeout_factor
+        in
+        work := !work + replay.Replay.s_executed;
+        (cls, Outcome.of_section_replay replay))
+      classes
+  in
+  {
+    section_index;
+    s_classes = Array.of_list results;
+    s_work = !work;
+    s_injections = List.length classes;
+    s_sites = Eqclass.total_sites classes;
+  }
+
+type baseline_result = {
+  b_classes : (Eqclass.t * Outcome.final_outcome) array;
+  b_work : int;
+  b_injections : int;
+  b_sites : int;
+}
+
+let run_baseline golden config =
+  let classes = Eqclass.for_program golden config.bits in
+  let work = ref 0 in
+  let results =
+    List.map
+      (fun cls ->
+        let injection = Site.machine_injection cls.Eqclass.pilot in
+        let replay =
+          Replay.run_to_end ~burst:config.burst golden
+            ~from_section:cls.Eqclass.pilot.Site.section injection
+            ~timeout_factor:config.timeout_factor
+        in
+        work := !work + replay.Replay.p_executed;
+        (cls, Outcome.of_program_replay replay))
+      classes
+  in
+  {
+    b_classes = Array.of_list results;
+    b_work = !work;
+    b_injections = List.length classes;
+    b_sites = Eqclass.total_sites classes;
+  }
+
+let final_outcomes_for_section golden ~section_index config =
+  let section = golden.Golden.sections.(section_index) in
+  let classes = Eqclass.for_section section config.bits in
+  let work = ref 0 in
+  let results =
+    List.map
+      (fun cls ->
+        let injection = Site.machine_injection cls.Eqclass.pilot in
+        let replay =
+          Replay.run_to_end ~burst:config.burst golden ~from_section:section_index
+            injection ~timeout_factor:config.timeout_factor
+        in
+        work := !work + replay.Replay.p_executed;
+        (cls, Outcome.of_program_replay replay))
+      classes
+  in
+  (Array.of_list results, !work)

@@ -1,0 +1,53 @@
+(** Injection campaigns: the expensive part of the analysis.
+
+    A campaign enumerates equivalence classes, injects each pilot, and
+    records the outcome for the whole class. Work is metered in dynamic
+    instructions simulated — the deterministic stand-in for the paper's
+    core-hours (error injection accounts for 99% of FastFlip's analysis
+    time, §6.2). *)
+
+type config = {
+  bits : Site.bit_policy;
+  timeout_factor : float;  (** budget multiple over nominal runtime; 5.0 *)
+  burst : int;             (** bits flipped per injection: 1 is the paper's
+                               single-event-upset model; larger widths model
+                               multi-bit upsets on adjacent bits (§4.8) *)
+}
+
+val default_config : config
+(** {!Site.default_bits}, timeout factor 5, single-bit flips. *)
+
+val config_hash : config -> int64
+(** Key component for the incremental analysis store: results are only
+    reusable under the same campaign configuration. *)
+
+type section_result = {
+  section_index : int;
+  s_classes : (Eqclass.t * Outcome.section_outcome) array;
+  s_work : int;        (** dynamic instructions simulated *)
+  s_injections : int;  (** pilots injected *)
+  s_sites : int;       (** |J_s| covered (class members) *)
+}
+
+val run_section : Ff_vm.Golden.t -> section_index:int -> config -> section_result
+(** FastFlip's per-section campaign: each pilot runs the section in
+    isolation from its golden entry state. *)
+
+type baseline_result = {
+  b_classes : (Eqclass.t * Outcome.final_outcome) array;
+  b_work : int;
+  b_injections : int;
+  b_sites : int;
+}
+
+val run_baseline : Ff_vm.Golden.t -> config -> baseline_result
+(** The monolithic Approxilyzer-style campaign: whole-trace equivalence
+    classes, each pilot runs from its section's entry state through the
+    end of the program. *)
+
+val final_outcomes_for_section :
+  Ff_vm.Golden.t -> section_index:int -> config -> (Eqclass.t * Outcome.final_outcome) array * int
+(** End-to-end outcomes for the sites of one section using FastFlip's
+    per-section classes (used when FastFlip runs the ground-truth labels
+    "simultaneously", §4.10). Returns the classes with final outcomes and
+    the extra work spent. *)

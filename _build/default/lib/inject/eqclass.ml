@@ -1,0 +1,93 @@
+open Ff_ir
+open Ff_vm
+
+type t = {
+  pc : Site.pc;
+  operand : Site.operand;
+  bit : int;
+  members : (int * int) array;
+  pilot : Site.t;
+}
+
+let size t = Array.length t.members
+
+let members_in_section t section =
+  Array.fold_left (fun acc (s, _) -> if s = section then acc + 1 else acc) 0 t.members
+
+let operand_key = function Site.Src i -> i | Site.Dst -> -1
+
+let compare_class a b =
+  match Site.compare_pc a.pc b.pc with
+  | 0 -> (
+    match compare (operand_key a.operand) (operand_key b.operand) with
+    | 0 -> compare a.bit b.bit
+    | c -> c)
+  | c -> c
+
+(* Group the dynamic instances of each (pc, operand) of a section;
+   classes for each bit share the member list. *)
+let groups_of_section (section : Golden.section_run) =
+  let code = section.Golden.kernel.Kernel.code in
+  let table : (Site.pc * Site.operand, (int * int) list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  Array.iteri
+    (fun dyn pc_idx ->
+      let pc = { Site.kernel = section.Golden.kernel_index; instr = pc_idx } in
+      List.iter
+        (fun operand ->
+          let key = (pc, operand) in
+          let cell =
+            match Hashtbl.find_opt table key with
+            | Some cell -> cell
+            | None ->
+              let cell = ref [] in
+              Hashtbl.replace table key cell;
+              cell
+          in
+          cell := (section.Golden.section_index, dyn) :: !cell)
+        (Site.operands code.(pc_idx)))
+    section.Golden.trace;
+  table
+
+let classes_of_groups table policy =
+  let bits = Site.bits_of_policy policy in
+  let classes = ref [] in
+  Hashtbl.iter
+    (fun (pc, operand) cell ->
+      let members = Array.of_list (List.rev !cell) in
+      let pilot_section, pilot_dyn = members.(Array.length members / 2) in
+      List.iter
+        (fun bit ->
+          let pilot =
+            { Site.section = pilot_section; dyn = pilot_dyn; pc; operand; bit }
+          in
+          classes := { pc; operand; bit; members; pilot } :: !classes)
+        bits)
+    table;
+  List.sort compare_class !classes
+
+let for_section section policy = classes_of_groups (groups_of_section section) policy
+
+let for_program (golden : Golden.t) policy =
+  let merged : (Site.pc * Site.operand, (int * int) list ref) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  Array.iter
+    (fun section ->
+      let table = groups_of_section section in
+      Hashtbl.iter
+        (fun key cell ->
+          match Hashtbl.find_opt merged key with
+          | Some existing -> existing := !cell @ !existing
+          | None -> Hashtbl.replace merged key (ref !cell))
+        table)
+    golden.Golden.sections;
+  (* classes_of_groups applies List.rev to each member list, so store the
+     merged lists in descending trace order to end up ascending. *)
+  Hashtbl.iter
+    (fun _ cell -> cell := List.rev (List.sort compare !cell))
+    merged;
+  classes_of_groups merged policy
+
+let total_sites classes = List.fold_left (fun acc c -> acc + size c) 0 classes

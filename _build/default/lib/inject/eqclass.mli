@@ -1,0 +1,42 @@
+(** Equivalence-class pruning of injections (Approxilyzer's heuristic,
+    paper §5.1).
+
+    Bitflips in the same (static instruction, operand, bit) triple tend
+    to produce the same outcome, so only one {e pilot} per class is
+    injected and its outcome applied to every member. The class scope is
+    what separates the two analyses:
+    {ul
+    {- {!for_section}: classes within one section instance (FastFlip);}
+    {- {!for_program}: classes across the whole trace (the monolithic
+       baseline) — dynamic instances of the same kernel pc in different
+       sections share a class, which is why the baseline can be faster
+       on unmodified programs whose schedules repeat kernels (paper's
+       FFT).}}
+
+    The pilot is the median member in trace order: a deterministic choice
+    that, like the paper's pilots, is not a perfect predictor for the
+    pruned members (§5.6 "pruning error range"). *)
+
+type t = {
+  pc : Site.pc;
+  operand : Site.operand;
+  bit : int;
+  members : (int * int) array;
+  (** (section index, dynamic index) of every member site, trace order *)
+  pilot : Site.t;
+}
+
+val size : t -> int
+(** Number of member sites. *)
+
+val members_in_section : t -> int -> int
+(** How many members the class has inside a given section. *)
+
+val for_section : Ff_vm.Golden.section_run -> Site.bit_policy -> t list
+(** Classes of one section instance, in deterministic (pc, operand, bit)
+    order. *)
+
+val for_program : Ff_vm.Golden.t -> Site.bit_policy -> t list
+(** Whole-trace classes, in deterministic order. *)
+
+val total_sites : t list -> int

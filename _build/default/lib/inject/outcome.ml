@@ -1,0 +1,70 @@
+open Ff_vm
+
+type detected_kind =
+  | Crash
+  | Timed_out
+  | Misformatted
+
+type section_outcome =
+  | S_detected of detected_kind
+  | S_sdc of (int * float) array
+
+type final_outcome =
+  | F_detected of detected_kind
+  | F_sdc of (int * float) list
+
+let section_is_masked = function
+  | S_detected _ -> false
+  | S_sdc magnitudes -> Array.for_all (fun (_, m) -> m = 0.0) magnitudes
+
+let final_is_masked = function
+  | F_detected _ -> false
+  | F_sdc magnitudes -> List.for_all (fun (_, m) -> m = 0.0) magnitudes
+
+let final_is_bad ~epsilon = function
+  | F_detected _ -> false
+  | F_sdc magnitudes -> List.exists (fun (_, m) -> m > epsilon) magnitudes
+
+let detected_of_anomaly = function
+  | Replay.Trap _ -> Crash
+  | Replay.Timeout -> Timed_out
+
+let of_section_replay (r : Replay.section_replay) =
+  match r.Replay.s_anomaly with
+  | Some a -> S_detected (detected_of_anomaly a)
+  | None ->
+    if r.Replay.s_nonfinite then S_detected Misformatted
+    else if r.Replay.s_side_effect then
+      (* A live value outside the declared outputs changed (§4.9):
+         surfaced as an unbounded SDC so it is never treated as benign. *)
+      S_sdc (Array.map (fun (idx, _) -> (idx, infinity)) r.Replay.s_output_sdc)
+    else S_sdc r.Replay.s_output_sdc
+
+let of_program_replay (r : Replay.program_replay) =
+  match r.Replay.p_anomaly with
+  | Some a -> F_detected (detected_of_anomaly a)
+  | None ->
+    if r.Replay.p_nonfinite then F_detected Misformatted else F_sdc r.Replay.p_final_sdc
+
+let pp_detected fmt kind =
+  Format.pp_print_string fmt
+    (match kind with
+    | Crash -> "crash"
+    | Timed_out -> "timeout"
+    | Misformatted -> "misformatted")
+
+let pp_magnitudes fmt pairs =
+  Format.fprintf fmt "[%s]"
+    (String.concat "; " (List.map (fun (i, m) -> Printf.sprintf "b%d:%g" i m) pairs))
+
+let pp_section fmt = function
+  | S_detected k -> Format.fprintf fmt "detected(%a)" pp_detected k
+  | S_sdc ms ->
+    if section_is_masked (S_sdc ms) then Format.pp_print_string fmt "masked"
+    else Format.fprintf fmt "sdc%a" pp_magnitudes (Array.to_list ms)
+
+let pp_final fmt = function
+  | F_detected k -> Format.fprintf fmt "detected(%a)" pp_detected k
+  | F_sdc ms ->
+    if final_is_masked (F_sdc ms) then Format.pp_print_string fmt "masked"
+    else Format.fprintf fmt "sdc%a" pp_magnitudes ms

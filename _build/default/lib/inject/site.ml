@@ -1,0 +1,78 @@
+open Ff_ir
+open Ff_vm
+
+type pc = {
+  kernel : int;
+  instr : int;
+}
+
+type operand =
+  | Src of int
+  | Dst
+
+type t = {
+  section : int;
+  dyn : int;
+  pc : pc;
+  operand : operand;
+  bit : int;
+}
+
+type bit_policy =
+  | All_bits
+  | Bit_list of int list
+
+let bits_of_policy = function
+  | All_bits -> List.init 64 Fun.id
+  | Bit_list bits -> bits
+
+let compare_pc a b =
+  match compare a.kernel b.kernel with 0 -> compare a.instr b.instr | c -> c
+
+let pp_pc fmt { kernel; instr } = Format.fprintf fmt "k%d:%d" kernel instr
+
+let pp_operand fmt = function
+  | Src i -> Format.fprintf fmt "src%d" i
+  | Dst -> Format.pp_print_string fmt "dst"
+
+let pp fmt t =
+  Format.fprintf fmt "s%d@%d %a %a bit%d" t.section t.dyn pp_pc t.pc pp_operand t.operand
+    t.bit
+
+let operands instr =
+  let srcs = List.mapi (fun i _ -> Src i) (Instr.srcs instr) in
+  match Instr.dst instr with Some _ -> srcs @ [ Dst ] | None -> srcs
+
+let operand_count instr =
+  List.length (Instr.srcs instr) + (match Instr.dst instr with Some _ -> 1 | None -> 0)
+
+let machine_injection t =
+  let operand =
+    match t.operand with Src i -> Machine.Osrc i | Dst -> Machine.Odst
+  in
+  { Machine.at_dyn = t.dyn; operand; bit = t.bit }
+
+let count_section (section : Golden.section_run) policy =
+  let bits = List.length (bits_of_policy policy) in
+  let code = section.Golden.kernel.Kernel.code in
+  Array.fold_left
+    (fun acc pc -> acc + (operand_count code.(pc) * bits))
+    0 section.Golden.trace
+
+let iter_section (section : Golden.section_run) policy f =
+  let bits = bits_of_policy policy in
+  let code = section.Golden.kernel.Kernel.code in
+  Array.iteri
+    (fun dyn pc_idx ->
+      let instr = code.(pc_idx) in
+      let pc = { kernel = section.Golden.kernel_index; instr = pc_idx } in
+      List.iter
+        (fun operand ->
+          List.iter
+            (fun bit -> f { section = section.Golden.section_index; dyn; pc; operand; bit })
+            bits)
+        (operands instr))
+    section.Golden.trace
+
+let default_bits =
+  Bit_list [ 0; 1; 2; 3; 7; 11; 15; 23; 31; 39; 47; 51; 54; 58; 62; 63 ]

@@ -1,0 +1,59 @@
+(** Error sites: the injectable (dynamic instruction, register operand,
+    bit) triples of a program execution, addressed against golden traces.
+
+    A {e static instruction} (pc) is a (kernel index, instruction index)
+    pair; the same pc appearing in two different sections (two calls of
+    one kernel) is the same static instruction — the baseline analysis
+    exploits this for cross-section pruning, FastFlip cannot (paper §6.2,
+    the FFT anomaly). *)
+
+type pc = {
+  kernel : int;  (** index into the program's kernel list *)
+  instr : int;   (** instruction offset within the kernel *)
+}
+
+type operand =
+  | Src of int  (** i-th source register operand *)
+  | Dst         (** destination register *)
+
+type t = {
+  section : int;  (** schedule index of the section instance *)
+  dyn : int;      (** dynamic instruction index within the section *)
+  pc : pc;
+  operand : operand;
+  bit : int;
+}
+
+type bit_policy =
+  | All_bits            (** all 64 bits, the paper's model *)
+  | Bit_list of int list  (** an explicit subset, applied identically to
+                              both analyses (a scaled-down model) *)
+
+val bits_of_policy : bit_policy -> int list
+
+val compare_pc : pc -> pc -> int
+
+val pp_pc : Format.formatter -> pc -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val operand_count : Ff_ir.Instr.t -> int
+(** Number of injectable operands of an instruction: its source registers
+    plus one if it writes a destination. *)
+
+val operands : Ff_ir.Instr.t -> operand list
+
+val machine_injection : t -> Ff_vm.Machine.injection
+(** Translate a site into the VM's injection descriptor. *)
+
+val count_section : Ff_vm.Golden.section_run -> bit_policy -> int
+(** |J_s|: number of error sites in one section instance. *)
+
+val iter_section :
+  Ff_vm.Golden.section_run -> bit_policy -> (t -> unit) -> unit
+(** Enumerate every error site of a section instance, in trace order. *)
+
+val default_bits : bit_policy
+(** The stratified 16-bit subset used by the experiment harness: low
+    mantissa/int bits, mid bits, the float exponent region, and sign
+    bits. Recorded here so FastFlip and the baseline always agree. *)

@@ -1,0 +1,1 @@
+lib/ir/asm.ml: Array Format Instr Int64 Kernel List Printf Scanf String Value

@@ -1,0 +1,1 @@
+lib/ir/instr.ml: Ff_support Format Int64

@@ -1,0 +1,1 @@
+lib/ir/instr.mli: Ff_support Format

@@ -1,0 +1,1 @@
+lib/ir/kernel.ml: Array Ff_support Format Instr List Value

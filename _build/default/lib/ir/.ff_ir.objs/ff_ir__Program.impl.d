@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array Format Kernel List Printf String Value

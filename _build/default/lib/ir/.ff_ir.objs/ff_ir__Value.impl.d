@@ -1,0 +1,1 @@
+lib/ir/value.ml: Ff_support Float Format Int64

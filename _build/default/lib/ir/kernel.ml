@@ -1,0 +1,110 @@
+module Hashing = Ff_support.Hashing
+
+type role = In | Out | InOut
+
+type param =
+  | Scalar of string * Value.scalar_ty
+  | Buffer of string * Value.scalar_ty * role
+
+type t = {
+  name : string;
+  params : param list;
+  code : Instr.t array;
+  nregs : int;
+}
+
+let scalar_params t =
+  List.filter_map (function Scalar (n, ty) -> Some (n, ty) | Buffer _ -> None) t.params
+
+let buffer_params t =
+  List.filter_map
+    (function Buffer (n, ty, r) -> Some (n, ty, r) | Scalar _ -> None)
+    t.params
+
+let role_writable = function Out | InOut -> true | In -> false
+let role_readable = function In | InOut -> true | Out -> false
+
+type validation_error = {
+  instr_index : int option;
+  message : string;
+}
+
+let error ?index message = Error { instr_index = index; message }
+
+let validate t =
+  let n = Array.length t.code in
+  let bufs = Array.of_list (buffer_params t) in
+  let nscalars = List.length (scalar_params t) in
+  if n = 0 then error "kernel has no code"
+  else if nscalars > t.nregs then error "scalar parameters exceed register count"
+  else if not (Instr.is_terminator t.code.(n - 1)) then
+    error ~index:(n - 1) "kernel does not end with a terminator"
+  else begin
+    let rec check i =
+      if i >= n then Ok ()
+      else begin
+        let instr = t.code.(i) in
+        let bad_reg r = r < 0 || r >= t.nregs in
+        let bad_label l = l < 0 || l >= n in
+        let regs = (match Instr.dst instr with Some d -> [ d ] | None -> []) @ Instr.srcs instr in
+        if List.exists bad_reg regs then error ~index:i "register out of range"
+        else if List.exists bad_label (Instr.labels instr) then
+          error ~index:i "label out of range"
+        else begin
+          let buf_check =
+            match instr with
+            | Instr.Load (_, b, _) ->
+              if b < 0 || b >= Array.length bufs then error ~index:i "buffer slot out of range"
+              else Ok ()
+            | Instr.Store (b, _, _) ->
+              if b < 0 || b >= Array.length bufs then error ~index:i "buffer slot out of range"
+              else begin
+                let _, _, role = bufs.(b) in
+                if role_writable role then Ok ()
+                else error ~index:i "store to read-only (In) buffer"
+              end
+            | Instr.Mov _ | Instr.Iconst _ | Instr.Fconst _ | Instr.Ibin _ | Instr.Fbin _
+            | Instr.Iun _ | Instr.Fun1 _ | Instr.Icmp _ | Instr.Fcmp _
+            | Instr.Cast _ | Instr.Select _ | Instr.Jmp _ | Instr.Br _ | Instr.Halt -> Ok ()
+          in
+          match buf_check with Ok () -> check (i + 1) | Error _ as e -> e
+        end
+      end
+    in
+    check 0
+  end
+
+let param_hash_fold h = function
+  | Scalar (n, ty) ->
+    Hashing.add_int h 1;
+    Hashing.add_string h n;
+    Hashing.add_int h (match ty with Value.TInt -> 0 | Value.TFloat -> 1)
+  | Buffer (n, ty, r) ->
+    Hashing.add_int h 2;
+    Hashing.add_string h n;
+    Hashing.add_int h (match ty with Value.TInt -> 0 | Value.TFloat -> 1);
+    Hashing.add_int h (match r with In -> 0 | Out -> 1 | InOut -> 2)
+
+let code_hash t =
+  let h = Hashing.create () in
+  Hashing.add_string h t.name;
+  Hashing.add_int h t.nregs;
+  List.iter (param_hash_fold h) t.params;
+  Array.iter (Instr.hash_fold h) t.code;
+  Hashing.value h
+
+let pp_role fmt = function
+  | In -> Format.pp_print_string fmt "in"
+  | Out -> Format.pp_print_string fmt "out"
+  | InOut -> Format.pp_print_string fmt "inout"
+
+let pp_param fmt = function
+  | Scalar (n, ty) -> Format.fprintf fmt "%s: %a" n Value.pp_ty ty
+  | Buffer (n, ty, r) -> Format.fprintf fmt "%a %s: %a[]" pp_role r n Value.pp_ty ty
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>kernel %s(%a)  ; %d regs@," t.name
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ") pp_param)
+    t.params t.nregs;
+  Array.iteri (fun i instr -> Format.fprintf fmt "  %3d: %a@," i Instr.pp instr) t.code;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,173 @@
+type buffer = {
+  buf_name : string;
+  buf_ty : Value.scalar_ty;
+  buf_size : int;
+  buf_init : Value.t array;
+  buf_is_output : bool;
+}
+
+type arg =
+  | Abuf of int
+  | Aint of int64
+  | Afloat of float
+
+type call = {
+  callee : string;
+  args : arg list;
+  call_label : string;
+}
+
+type t = {
+  kernels : Kernel.t list;
+  buffers : buffer list;
+  schedule : call list;
+}
+
+let find_kernel t name = List.find_opt (fun (k : Kernel.t) -> String.equal k.name name) t.kernels
+
+let kernel_index t name =
+  let rec go i = function
+    | [] -> None
+    | (k : Kernel.t) :: rest -> if String.equal k.name name then Some i else go (i + 1) rest
+  in
+  go 0 t.kernels
+
+let output_buffers t =
+  List.fold_left
+    (fun (i, acc) b -> (i + 1, if b.buf_is_output then (i, b) :: acc else acc))
+    (0, []) t.buffers
+  |> snd |> List.rev
+
+let signature_pairs t call =
+  match find_kernel t call.callee with
+  | None -> invalid_arg (Printf.sprintf "Program: unknown kernel %s" call.callee)
+  | Some k ->
+    (try List.combine k.params call.args
+     with Invalid_argument _ ->
+       invalid_arg (Printf.sprintf "Program: arity mismatch in call to %s" call.callee))
+
+let buffer_args t call =
+  signature_pairs t call
+  |> List.filter_map (fun (param, arg) ->
+         match (param, arg) with
+         | Kernel.Buffer (_, _, role), Abuf i -> Some (i, role)
+         | Kernel.Buffer (name, _, _), (Aint _ | Afloat _) ->
+           invalid_arg
+             (Printf.sprintf "Program: scalar passed for buffer parameter %s of %s" name
+                call.callee)
+         | Kernel.Scalar _, _ -> None)
+
+let scalar_args t call =
+  signature_pairs t call
+  |> List.filter_map (fun (param, arg) ->
+         match (param, arg) with
+         | Kernel.Scalar (_, Value.TInt), Aint v -> Some (Value.Int v)
+         | Kernel.Scalar (_, Value.TFloat), Afloat v -> Some (Value.Float v)
+         | Kernel.Scalar (name, _), _ ->
+           invalid_arg
+             (Printf.sprintf "Program: bad scalar argument for parameter %s of %s" name
+                call.callee)
+         | Kernel.Buffer _, _ -> None)
+
+type validation_error = {
+  context : string;
+  message : string;
+}
+
+let err context fmt = Printf.ksprintf (fun message -> Error { context; message }) fmt
+
+let validate_buffer b =
+  if b.buf_size <= 0 then err b.buf_name "buffer size must be positive"
+  else if Array.length b.buf_init <> b.buf_size then
+    err b.buf_name "initializer length %d differs from size %d" (Array.length b.buf_init)
+      b.buf_size
+  else if Array.exists (fun v -> not (Value.ty_equal (Value.ty v) b.buf_ty)) b.buf_init then
+    err b.buf_name "initializer element type differs from buffer type"
+  else Ok ()
+
+let validate_call t call =
+  match find_kernel t call.callee with
+  | None -> err call.call_label "unknown kernel %s" call.callee
+  | Some k ->
+    if List.length k.params <> List.length call.args then
+      err call.call_label "call to %s has %d arguments, expected %d" call.callee
+        (List.length call.args) (List.length k.params)
+    else begin
+      let buffers = Array.of_list t.buffers in
+      let rec check = function
+        | [] -> Ok ()
+        | (param, arg) :: rest -> (
+          match (param, arg) with
+          | Kernel.Scalar (_, Value.TInt), Aint _ -> check rest
+          | Kernel.Scalar (_, Value.TFloat), Afloat _ -> check rest
+          | Kernel.Scalar (name, _), _ ->
+            err call.call_label "argument for scalar parameter %s has the wrong kind" name
+          | Kernel.Buffer (name, ty, _), Abuf i ->
+            if i < 0 || i >= Array.length buffers then
+              err call.call_label "buffer index %d out of range for parameter %s" i name
+            else if not (Value.ty_equal buffers.(i).buf_ty ty) then
+              err call.call_label "buffer %s has the wrong element type for parameter %s"
+                buffers.(i).buf_name name
+            else check rest
+          | Kernel.Buffer (name, _, _), (Aint _ | Afloat _) ->
+            err call.call_label "scalar passed for buffer parameter %s" name)
+      in
+      check (List.combine k.params call.args)
+    end
+
+let validate t =
+  let rec first_error = function
+    | [] -> Ok ()
+    | Ok () :: rest -> first_error rest
+    | (Error _ as e) :: rest ->
+      ignore rest;
+      e
+  in
+  let kernel_results =
+    List.map
+      (fun (k : Kernel.t) ->
+        match Kernel.validate k with
+        | Ok () -> Ok ()
+        | Error { Kernel.instr_index; message } ->
+          let where =
+            match instr_index with
+            | Some i -> Printf.sprintf "%s@%d" k.name i
+            | None -> k.name
+          in
+          Error { context = where; message })
+      t.kernels
+  in
+  let buffer_results = List.map validate_buffer t.buffers in
+  let call_results = List.map (validate_call t) t.schedule in
+  let outputs = output_buffers t in
+  let output_result =
+    if outputs = [] then err "program" "no buffer is marked as a program output" else Ok ()
+  in
+  first_error (kernel_results @ buffer_results @ call_results @ [ output_result ])
+
+let pp_arg buffers fmt = function
+  | Abuf i ->
+    let name = if i < Array.length buffers then buffers.(i).buf_name else "?" in
+    Format.fprintf fmt "&%s" name
+  | Aint v -> Format.fprintf fmt "%Ld" v
+  | Afloat v -> Format.fprintf fmt "%g" v
+
+let pp fmt t =
+  let buffers = Array.of_list t.buffers in
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun b ->
+      Format.fprintf fmt "buffer %s : %a[%d]%s@," b.buf_name Value.pp_ty b.buf_ty b.buf_size
+        (if b.buf_is_output then " (output)" else ""))
+    t.buffers;
+  Format.fprintf fmt "@,";
+  List.iter (fun k -> Format.fprintf fmt "%a@," Kernel.pp k) t.kernels;
+  Format.fprintf fmt "schedule:@,";
+  List.iteri
+    (fun i c ->
+      Format.fprintf fmt "  s%d [%s]: %s(%a)@," i c.call_label c.callee
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           (pp_arg buffers))
+        c.args)
+    t.schedule;
+  Format.fprintf fmt "@]"

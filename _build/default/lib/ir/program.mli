@@ -1,0 +1,61 @@
+(** Whole programs: global buffers, kernels, and a schedule of kernel
+    calls. Each call in the schedule is one section instance in the sense
+    of the paper (the k-th dynamic section s_k of the trace T). *)
+
+type buffer = {
+  buf_name : string;
+  buf_ty : Value.scalar_ty;
+  buf_size : int;
+  buf_init : Value.t array;
+  (** Initial contents; length [buf_size]. *)
+  buf_is_output : bool;
+  (** Whether the buffer is a final program output o_{T,λ}. *)
+}
+
+type arg =
+  | Abuf of int      (** index into the program's buffer list *)
+  | Aint of int64
+  | Afloat of float
+
+type call = {
+  callee : string;      (** kernel name *)
+  args : arg list;      (** one per kernel parameter, in order *)
+  call_label : string;  (** human-readable section label, e.g. "lu0[k=1]" *)
+}
+
+type t = {
+  kernels : Kernel.t list;
+  buffers : buffer list;
+  schedule : call list;
+}
+
+val find_kernel : t -> string -> Kernel.t option
+
+val kernel_index : t -> string -> int option
+(** Position of a kernel in [kernels]; static-instruction identifiers
+    (pc) are pairs of this index and an instruction offset. *)
+
+val output_buffers : t -> (int * buffer) list
+(** Buffers flagged as final program outputs, with their indices. *)
+
+val buffer_args : t -> call -> (int * Kernel.role) list
+(** For a call, the program-buffer index bound to each buffer parameter
+    slot, with the slot's declared role. Raises [Invalid_argument] if the
+    callee is unknown or the arguments do not match its signature. *)
+
+val scalar_args : t -> call -> Value.t list
+(** The scalar argument values of a call, in parameter order. Raises
+    [Invalid_argument] on signature mismatch. *)
+
+type validation_error = {
+  context : string;
+  message : string;
+}
+
+val validate : t -> (unit, validation_error) result
+(** Checks every kernel (cf. {!Kernel.validate}), buffer initializers
+    (length and type), schedule arity/type agreement, and that at least
+    one buffer is marked as a program output. *)
+
+val pp : Format.formatter -> t -> unit
+(** Listing of buffers, kernels and schedule. *)

@@ -1,0 +1,60 @@
+module Bits = Ff_support.Bits
+module Hashing = Ff_support.Hashing
+
+type scalar_ty = TInt | TFloat
+
+type t = Int of int64 | Float of float
+
+let ty = function Int _ -> TInt | Float _ -> TFloat
+
+let flip_bit v b =
+  match v with
+  | Int w -> Int (Bits.flip w b)
+  | Float x -> Float (Bits.flip_float x b)
+
+let zero = function TInt -> Int 0L | TFloat -> Float 0.0
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> Int64.equal x y
+  | Float x, Float y -> Int64.equal (Bits.bits_of_float x) (Bits.bits_of_float y)
+  | Int _, Float _ | Float _, Int _ -> false
+
+let abs_diff a b =
+  match (a, b) with
+  | Int x, Int y ->
+    let d = Int64.sub x y in
+    (* |d| as float; Int64.min_int has no negation, map to +2^63. *)
+    if Int64.equal d Int64.min_int then 9.223372036854775808e18
+    else Int64.to_float (Int64.abs d)
+  | Float x, Float y ->
+    if Int64.equal (Bits.bits_of_float x) (Bits.bits_of_float y) then 0.0
+    else begin
+      let d = Float.abs (x -. y) in
+      if Float.is_nan d || d = infinity then infinity else d
+    end
+  | Int _, Float _ | Float _, Int _ ->
+    invalid_arg "Value.abs_diff: type mismatch"
+
+let is_finite = function
+  | Int _ -> true
+  | Float x -> Float.is_finite x
+
+let to_bits = function Int w -> w | Float x -> Bits.bits_of_float x
+
+let ty_equal a b =
+  match (a, b) with TInt, TInt | TFloat, TFloat -> true | TInt, TFloat | TFloat, TInt -> false
+
+let pp_ty fmt = function
+  | TInt -> Format.pp_print_string fmt "int"
+  | TFloat -> Format.pp_print_string fmt "float"
+
+let pp fmt = function
+  | Int w -> Format.fprintf fmt "%Ld" w
+  | Float x -> Format.fprintf fmt "%h" x
+
+let to_string v = Format.asprintf "%a" pp v
+
+let hash_fold h v =
+  (match v with Int _ -> Hashing.add_int h 1 | Float _ -> Hashing.add_int h 2);
+  Hashing.add_int64 h (to_bits v)

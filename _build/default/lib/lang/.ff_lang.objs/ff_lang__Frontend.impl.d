@@ -1,0 +1,1 @@
+lib/lang/frontend.ml: Ff_ir Format List Loc Lower Opt Parser Printf Typecheck

@@ -1,0 +1,1 @@
+lib/lang/frontend.mli: Ff_ir Format Loc

@@ -1,0 +1,1 @@
+lib/lang/lower.ml: Array Ast Ff_ir Hashtbl Instr Int64 Kernel List Printf Program String Value

@@ -1,0 +1,1 @@
+lib/lang/opt.ml: Array Ff_ir Float Fun Hashtbl Instr Int64 Kernel List Value

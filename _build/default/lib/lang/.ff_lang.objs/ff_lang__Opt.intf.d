@@ -1,0 +1,1 @@
+lib/lang/opt.mli: Ff_ir

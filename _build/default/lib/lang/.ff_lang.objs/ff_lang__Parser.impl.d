@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Ast Format Int64 Lexer List Loc Printf Token

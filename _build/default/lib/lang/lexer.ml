@@ -1,0 +1,204 @@
+type error = {
+  loc : Loc.t;
+  message : string;
+}
+
+let pp_error fmt { loc; message } = Format.fprintf fmt "%a: %s" Loc.pp loc message
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+exception Lex_error of error
+
+let fail st message = raise (Lex_error { loc = { Loc.line = st.line; col = st.col }; message })
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st = if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let keyword_of_string = function
+  | "buffer" -> Some Token.KW_BUFFER
+  | "output" -> Some Token.KW_OUTPUT
+  | "kernel" -> Some Token.KW_KERNEL
+  | "schedule" -> Some Token.KW_SCHEDULE
+  | "call" -> Some Token.KW_CALL
+  | "var" -> Some Token.KW_VAR
+  | "if" -> Some Token.KW_IF
+  | "else" -> Some Token.KW_ELSE
+  | "while" -> Some Token.KW_WHILE
+  | "for" -> Some Token.KW_FOR
+  | "int" -> Some Token.KW_INT
+  | "float" -> Some Token.KW_FLOAT
+  | "zeros" -> Some Token.KW_ZEROS
+  | "in" -> Some Token.KW_IN
+  | "out" -> Some Token.KW_OUT
+  | "inout" -> Some Token.KW_INOUT
+  | _ -> None
+
+let skip_line st =
+  let rec go () =
+    match peek st with
+    | Some '\n' | None -> ()
+    | Some _ ->
+      advance st;
+      go ()
+  in
+  go ()
+
+let lex_number st =
+  let start = st.pos in
+  let is_hex_literal =
+    peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X')
+  in
+  if is_hex_literal then begin
+    advance st;
+    advance st;
+    let digits_start = st.pos in
+    while (match peek st with Some c -> is_hex c | None -> false) do
+      advance st
+    done;
+    if st.pos = digits_start then fail st "hexadecimal literal without digits";
+    let text = String.sub st.src start (st.pos - start) in
+    match Int64.of_string_opt text with
+    | Some v -> Token.INT v
+    | None -> fail st (Printf.sprintf "invalid hexadecimal literal %s" text)
+  end
+  else begin
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    let is_float = ref false in
+    (* A '.' starts a fraction only if not the start of a '..' range. *)
+    (match (peek st, peek2 st) with
+    | Some '.', Some '.' -> ()
+    | Some '.', _ ->
+      is_float := true;
+      advance st;
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+    | _ -> ());
+    (match peek st with
+    | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek st with
+      | Some ('+' | '-') -> advance st
+      | _ -> ());
+      let digits_start = st.pos in
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done;
+      if st.pos = digits_start then fail st "exponent without digits"
+    | _ -> ());
+    let text = String.sub st.src start (st.pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some v -> Token.FLOAT v
+      | None -> fail st (Printf.sprintf "invalid float literal %s" text)
+    else
+      match Int64.of_string_opt text with
+      | Some v -> Token.INT v
+      | None -> fail st (Printf.sprintf "invalid integer literal %s" text)
+  end
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match keyword_of_string text with Some kw -> kw | None -> Token.IDENT text
+
+let next_token st =
+  let rec skip_trivia () =
+    match peek st with
+    | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia ()
+    | Some '#' ->
+      skip_line st;
+      skip_trivia ()
+    | Some '/' when peek2 st = Some '/' ->
+      skip_line st;
+      skip_trivia ()
+    | _ -> ()
+  in
+  skip_trivia ();
+  let loc = { Loc.line = st.line; col = st.col } in
+  let simple tok =
+    advance st;
+    tok
+  in
+  let two_char tok =
+    advance st;
+    advance st;
+    tok
+  in
+  let token =
+    match peek st with
+    | None -> Token.EOF
+    | Some c when is_digit c -> lex_number st
+    | Some c when is_ident_start c -> lex_ident st
+    | Some '(' -> simple Token.LPAREN
+    | Some ')' -> simple Token.RPAREN
+    | Some '{' -> simple Token.LBRACE
+    | Some '}' -> simple Token.RBRACE
+    | Some '[' -> simple Token.LBRACKET
+    | Some ']' -> simple Token.RBRACKET
+    | Some ',' -> simple Token.COMMA
+    | Some ';' -> simple Token.SEMI
+    | Some ':' -> simple Token.COLON
+    | Some '.' when peek2 st = Some '.' -> two_char Token.DOTDOT
+    | Some '+' -> simple Token.PLUS
+    | Some '-' -> simple Token.MINUS
+    | Some '*' -> simple Token.STAR
+    | Some '/' -> simple Token.SLASH
+    | Some '%' -> simple Token.PERCENT
+    | Some '=' when peek2 st = Some '=' -> two_char Token.EQ
+    | Some '=' -> simple Token.ASSIGN
+    | Some '!' when peek2 st = Some '=' -> two_char Token.NE
+    | Some '!' -> simple Token.BANG
+    | Some '<' when peek2 st = Some '=' -> two_char Token.LE
+    | Some '<' when peek2 st = Some '<' -> two_char Token.SHL
+    | Some '<' -> simple Token.LT
+    | Some '>' when peek2 st = Some '=' -> two_char Token.GE
+    | Some '>' when peek2 st = Some '>' -> two_char Token.SHR
+    | Some '>' -> simple Token.GT
+    | Some '&' when peek2 st = Some '&' -> two_char Token.ANDAND
+    | Some '&' -> simple Token.AMP
+    | Some '|' when peek2 st = Some '|' -> two_char Token.OROR
+    | Some '|' -> simple Token.PIPE
+    | Some '^' -> simple Token.CARET
+    | Some '~' -> simple Token.TILDE
+    | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+  in
+  { Token.token; loc }
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let spanned = next_token st in
+    match spanned.Token.token with
+    | Token.EOF -> Ok (List.rev (spanned :: acc))
+    | _ -> go (spanned :: acc)
+  in
+  try go [] with Lex_error e -> Error e

@@ -1,0 +1,16 @@
+(** Hand-written lexer for the kernel language.
+
+    Supports line comments ([// ...] and [# ...]), decimal and hexadecimal
+    integer literals, floating literals with exponents, and all operators
+    of the grammar. Produces a token stream with source locations. *)
+
+type error = {
+  loc : Loc.t;
+  message : string;
+}
+
+val tokenize : string -> (Token.spanned list, error) result
+(** Lex a whole source string. The resulting list always ends with an
+    [EOF] token. *)
+
+val pp_error : Format.formatter -> error -> unit

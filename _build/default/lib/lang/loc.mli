@@ -1,0 +1,13 @@
+(** Source locations for diagnostics. *)
+
+type t = {
+  line : int;  (** 1-based *)
+  col : int;   (** 1-based *)
+}
+
+val dummy : t
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [line:col]. *)
+
+val to_string : t -> string

@@ -1,0 +1,453 @@
+open Ff_ir
+
+(* Symbolic code with unresolved labels, accumulated in reverse. *)
+type sym =
+  | Ins of Instr.t
+  | SJmp of int
+  | SBr of Instr.reg * int * int
+  | SLabel of int
+
+type st = {
+  mutable code : sym list; (* reversed *)
+  mutable next_reg : int;
+  mutable next_label : int;
+  vars : (string, int * Ast.ty) Hashtbl.t;
+  bufs : (string, int * Ast.ty) Hashtbl.t;
+}
+
+let emit st i = st.code <- Ins i :: st.code
+
+let fresh_reg st =
+  let r = st.next_reg in
+  st.next_reg <- r + 1;
+  r
+
+let fresh_label st =
+  let l = st.next_label in
+  st.next_label <- l + 1;
+  l
+
+let place_label st l = st.code <- SLabel l :: st.code
+
+let var_info st name =
+  match Hashtbl.find_opt st.vars name with
+  | Some info -> info
+  | None -> failwith (Printf.sprintf "Lower: unknown variable %s" name)
+
+let buf_info st name =
+  match Hashtbl.find_opt st.bufs name with
+  | Some info -> info
+  | None -> failwith (Printf.sprintf "Lower: unknown buffer %s" name)
+
+(* Re-infer the type of a typechecked expression (cheap, no errors). *)
+let rec ty_of st (expr : Ast.expr) : Ast.ty =
+  match expr.Ast.e with
+  | Ast.Int_lit _ -> Ast.Tint
+  | Ast.Float_lit _ -> Ast.Tfloat
+  | Ast.Var x -> snd (var_info st x)
+  | Ast.Index (b, _) -> snd (buf_info st b)
+  | Ast.Unary (Ast.Neg, a) -> ty_of st a
+  | Ast.Unary ((Ast.LogNot | Ast.BitNot), _) -> Ast.Tint
+  | Ast.Binary ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div), a, _) -> ty_of st a
+  | Ast.Binary (_, _, _) -> Ast.Tint
+  | Ast.Call ("select", [ _; a; _ ]) -> ty_of st a
+  | Ast.Call (f, _) -> (
+    match List.find_opt (fun (n, _, _) -> String.equal n f) Ast.builtins with
+    | Some (_, _, ret) -> ret
+    | None -> failwith (Printf.sprintf "Lower: unknown function %s" f))
+
+let rec compile_expr st (expr : Ast.expr) : Instr.reg =
+  match expr.Ast.e with
+  | Ast.Int_lit v ->
+    let d = fresh_reg st in
+    emit st (Instr.Iconst (d, v));
+    d
+  | Ast.Float_lit v ->
+    let d = fresh_reg st in
+    emit st (Instr.Fconst (d, v));
+    d
+  | Ast.Var x -> fst (var_info st x)
+  | Ast.Index (b, idx) ->
+    let slot, _ = buf_info st b in
+    let i = compile_expr st idx in
+    let d = fresh_reg st in
+    emit st (Instr.Load (d, slot, i));
+    d
+  | Ast.Unary (op, a) -> (
+    let ra = compile_expr st a in
+    let d = fresh_reg st in
+    match (op, ty_of st a) with
+    | Ast.Neg, Ast.Tint ->
+      emit st (Instr.Iun (Instr.Ineg, d, ra));
+      d
+    | Ast.Neg, Ast.Tfloat ->
+      emit st (Instr.Fun1 (Instr.FFneg, d, ra));
+      d
+    | Ast.BitNot, _ ->
+      emit st (Instr.Iun (Instr.Inot, d, ra));
+      d
+    | Ast.LogNot, _ ->
+      let z = fresh_reg st in
+      emit st (Instr.Iconst (z, 0L));
+      emit st (Instr.Icmp (Instr.Ceq, d, ra, z));
+      d)
+  | Ast.Binary (op, a, b) -> compile_binary st op a b
+  | Ast.Call (f, args) -> compile_call st f args
+
+and compile_binary st op a b =
+  let ty = ty_of st a in
+  let ra = compile_expr st a in
+  let rb = compile_expr st b in
+  let d = fresh_reg st in
+  let icmp c = emit st (Instr.Icmp (c, d, ra, rb)) in
+  let fcmp c = emit st (Instr.Fcmp (c, d, ra, rb)) in
+  (match (op, ty) with
+  | Ast.Add, Ast.Tint -> emit st (Instr.Ibin (Instr.Iadd, d, ra, rb))
+  | Ast.Add, Ast.Tfloat -> emit st (Instr.Fbin (Instr.Fadd, d, ra, rb))
+  | Ast.Sub, Ast.Tint -> emit st (Instr.Ibin (Instr.Isub, d, ra, rb))
+  | Ast.Sub, Ast.Tfloat -> emit st (Instr.Fbin (Instr.Fsub, d, ra, rb))
+  | Ast.Mul, Ast.Tint -> emit st (Instr.Ibin (Instr.Imul, d, ra, rb))
+  | Ast.Mul, Ast.Tfloat -> emit st (Instr.Fbin (Instr.Fmul, d, ra, rb))
+  | Ast.Div, Ast.Tint -> emit st (Instr.Ibin (Instr.Idiv, d, ra, rb))
+  | Ast.Div, Ast.Tfloat -> emit st (Instr.Fbin (Instr.Fdiv, d, ra, rb))
+  | Ast.Mod, _ -> emit st (Instr.Ibin (Instr.Irem, d, ra, rb))
+  | Ast.BitAnd, _ -> emit st (Instr.Ibin (Instr.Iand, d, ra, rb))
+  | Ast.BitOr, _ -> emit st (Instr.Ibin (Instr.Ior, d, ra, rb))
+  | Ast.BitXor, _ -> emit st (Instr.Ibin (Instr.Ixor, d, ra, rb))
+  | Ast.Shl, _ -> emit st (Instr.Ibin (Instr.Ishl, d, ra, rb))
+  | Ast.Shr, _ -> emit st (Instr.Ibin (Instr.Iashr, d, ra, rb))
+  | Ast.Eq, Ast.Tint -> icmp Instr.Ceq
+  | Ast.Eq, Ast.Tfloat -> fcmp Instr.Ceq
+  | Ast.Ne, Ast.Tint -> icmp Instr.Cne
+  | Ast.Ne, Ast.Tfloat -> fcmp Instr.Cne
+  | Ast.Lt, Ast.Tint -> icmp Instr.Clt
+  | Ast.Lt, Ast.Tfloat -> fcmp Instr.Clt
+  | Ast.Le, Ast.Tint -> icmp Instr.Cle
+  | Ast.Le, Ast.Tfloat -> fcmp Instr.Cle
+  | Ast.Gt, Ast.Tint -> icmp Instr.Cgt
+  | Ast.Gt, Ast.Tfloat -> fcmp Instr.Cgt
+  | Ast.Ge, Ast.Tint -> icmp Instr.Cge
+  | Ast.Ge, Ast.Tfloat -> fcmp Instr.Cge
+  | Ast.LogAnd, _ | Ast.LogOr, _ ->
+    (* (a != 0) op (b != 0); both operands evaluate (documented). *)
+    let z = fresh_reg st in
+    let ta = fresh_reg st in
+    let tb = fresh_reg st in
+    emit st (Instr.Iconst (z, 0L));
+    emit st (Instr.Icmp (Instr.Cne, ta, ra, z));
+    emit st (Instr.Icmp (Instr.Cne, tb, rb, z));
+    let bop = match op with Ast.LogAnd -> Instr.Iand | _ -> Instr.Ior in
+    emit st (Instr.Ibin (bop, d, ta, tb)));
+  d
+
+and compile_call st f args =
+  match (f, args) with
+  | "select", [ c; a; b ] ->
+    let rc = compile_expr st c in
+    let ra = compile_expr st a in
+    let rb = compile_expr st b in
+    let d = fresh_reg st in
+    emit st (Instr.Select (d, rc, ra, rb));
+    d
+  | _, _ ->
+    let regs = List.map (compile_expr st) args in
+    let d = fresh_reg st in
+    let unary op =
+      match regs with
+      | [ a ] -> emit st (Instr.Fun1 (op, d, a))
+      | _ -> failwith "Lower: arity"
+    in
+    let fbin op =
+      match regs with
+      | [ a; b ] -> emit st (Instr.Fbin (op, d, a, b))
+      | _ -> failwith "Lower: arity"
+    in
+    let ibin op =
+      match regs with
+      | [ a; b ] -> emit st (Instr.Ibin (op, d, a, b))
+      | _ -> failwith "Lower: arity"
+    in
+    let cast c =
+      match regs with
+      | [ a ] -> emit st (Instr.Cast (c, d, a))
+      | _ -> failwith "Lower: arity"
+    in
+    (match f with
+    | "sqrt" -> unary Instr.FFsqrt
+    | "exp" -> unary Instr.FFexp
+    | "log" -> unary Instr.FFlog
+    | "sin" -> unary Instr.FFsin
+    | "cos" -> unary Instr.FFcos
+    | "fabs" -> unary Instr.FFabs
+    | "floor" -> unary Instr.FFfloor
+    | "ceil" -> unary Instr.FFceil
+    | "pow" -> fbin Instr.Fpow
+    | "fmin" -> fbin Instr.Fmin
+    | "fmax" -> fbin Instr.Fmax
+    | "imin" -> ibin Instr.Imin
+    | "imax" -> ibin Instr.Imax
+    | "rotl" -> ibin Instr.Irotl
+    | "rotr" -> ibin Instr.Irotr
+    | "lshr" -> ibin Instr.Ilshr
+    | "float_of_int" -> cast Instr.Itof
+    | "int_of_float" -> cast Instr.Ftoi
+    | "bits_of_float" -> cast Instr.Fbits
+    | "float_of_bits" -> cast Instr.Bitsf
+    | _ -> failwith (Printf.sprintf "Lower: unknown function %s" f));
+    d
+
+let rec compile_stmt st (stmt : Ast.stmt) =
+  match stmt.Ast.s with
+  | Ast.Decl (name, ty, init) ->
+    let r = compile_expr st init in
+    let v = fresh_reg st in
+    Hashtbl.replace st.vars name (v, ty);
+    emit st (Instr.Mov (v, r))
+  | Ast.Assign (name, rhs) ->
+    let r = compile_expr st rhs in
+    let v, _ = var_info st name in
+    emit st (Instr.Mov (v, r))
+  | Ast.Store (name, idx, rhs) ->
+    let slot, _ = buf_info st name in
+    let i = compile_expr st idx in
+    let r = compile_expr st rhs in
+    emit st (Instr.Store (slot, i, r))
+  | Ast.If (cond, then_blk, else_blk) ->
+    let c = compile_expr st cond in
+    let l_then = fresh_label st in
+    let l_else = fresh_label st in
+    let l_end = fresh_label st in
+    st.code <- SBr (c, l_then, l_else) :: st.code;
+    place_label st l_then;
+    List.iter (compile_stmt st) then_blk;
+    st.code <- SJmp l_end :: st.code;
+    place_label st l_else;
+    List.iter (compile_stmt st) else_blk;
+    place_label st l_end
+  | Ast.While (cond, body) ->
+    let l_cond = fresh_label st in
+    let l_body = fresh_label st in
+    let l_end = fresh_label st in
+    place_label st l_cond;
+    let c = compile_expr st cond in
+    st.code <- SBr (c, l_body, l_end) :: st.code;
+    place_label st l_body;
+    List.iter (compile_stmt st) body;
+    st.code <- SJmp l_cond :: st.code;
+    place_label st l_end
+  | Ast.For (var, lo, hi, body) ->
+    let lo_reg = compile_expr st lo in
+    (* Copy the bound out of any source variable: the loop must not be
+       affected if the body mutates a variable the bound mentioned. *)
+    let hi_src = compile_expr st hi in
+    let hi_reg = fresh_reg st in
+    emit st (Instr.Mov (hi_reg, hi_src));
+    let v = fresh_reg st in
+    Hashtbl.replace st.vars var (v, Ast.Tint);
+    emit st (Instr.Mov (v, lo_reg));
+    let one = fresh_reg st in
+    emit st (Instr.Iconst (one, 1L));
+    let l_cond = fresh_label st in
+    let l_body = fresh_label st in
+    let l_end = fresh_label st in
+    place_label st l_cond;
+    let t = fresh_reg st in
+    emit st (Instr.Icmp (Instr.Clt, t, v, hi_reg));
+    st.code <- SBr (t, l_body, l_end) :: st.code;
+    place_label st l_body;
+    List.iter (compile_stmt st) body;
+    emit st (Instr.Ibin (Instr.Iadd, v, v, one));
+    st.code <- SJmp l_cond :: st.code;
+    place_label st l_end
+
+let resolve (syms : sym list) : Instr.t array =
+  (* First pass: instruction index of each label. *)
+  let positions = Hashtbl.create 16 in
+  let idx = ref 0 in
+  List.iter
+    (function
+      | SLabel l -> Hashtbl.replace positions l !idx
+      | Ins _ | SJmp _ | SBr _ -> incr idx)
+    syms;
+  let lookup l =
+    match Hashtbl.find_opt positions l with
+    | Some i -> i
+    | None -> failwith "Lower: undefined label"
+  in
+  let out = Array.make !idx Instr.Halt in
+  let idx = ref 0 in
+  List.iter
+    (function
+      | SLabel _ -> ()
+      | Ins i ->
+        out.(!idx) <- i;
+        incr idx
+      | SJmp l ->
+        out.(!idx) <- Instr.Jmp (lookup l);
+        incr idx
+      | SBr (c, l1, l2) ->
+        out.(!idx) <- Instr.Br (c, lookup l1, lookup l2);
+        incr idx)
+    syms;
+  out
+
+let ir_ty = function Ast.Tint -> Value.TInt | Ast.Tfloat -> Value.TFloat
+
+let ir_role = function Ast.Min -> Kernel.In | Ast.Mout -> Kernel.Out | Ast.Minout -> Kernel.InOut
+
+let lower_kernel (kernel : Ast.kernel) : Kernel.t =
+  let st =
+    {
+      code = [];
+      next_reg = 0;
+      next_label = 0;
+      vars = Hashtbl.create 16;
+      bufs = Hashtbl.create 16;
+    }
+  in
+  let buf_slot = ref 0 in
+  List.iter
+    (fun param ->
+      match param with
+      | Ast.Pscalar (name, ty) ->
+        let r = fresh_reg st in
+        Hashtbl.replace st.vars name (r, ty)
+      | Ast.Pbuffer (name, ty, _) ->
+        Hashtbl.replace st.bufs name (!buf_slot, ty);
+        incr buf_slot)
+    kernel.Ast.kparams;
+  List.iter (compile_stmt st) kernel.Ast.kbody;
+  emit st Instr.Halt;
+  let code = resolve (List.rev st.code) in
+  let params =
+    List.map
+      (function
+        | Ast.Pscalar (name, ty) -> Kernel.Scalar (name, ir_ty ty)
+        | Ast.Pbuffer (name, ty, mode) -> Kernel.Buffer (name, ir_ty ty, ir_role mode))
+      kernel.Ast.kparams
+  in
+  { Kernel.name = kernel.Ast.kname; params; code; nregs = max 1 st.next_reg }
+
+(* --- schedule elaboration --------------------------------------------- *)
+
+let rec eval_const env (expr : Ast.expr) : Value.t =
+  match expr.Ast.e with
+  | Ast.Int_lit v -> Value.Int v
+  | Ast.Float_lit v -> Value.Float v
+  | Ast.Var x -> (
+    match List.assoc_opt x env with
+    | Some v -> Value.Int v
+    | None -> failwith (Printf.sprintf "Lower: unbound schedule variable %s" x))
+  | Ast.Unary (Ast.Neg, a) -> (
+    match eval_const env a with
+    | Value.Int v -> Value.Int (Int64.neg v)
+    | Value.Float v -> Value.Float (-.v))
+  | Ast.Binary (op, a, b) -> (
+    let va = eval_const env a in
+    let vb = eval_const env b in
+    match (va, vb) with
+    | Value.Int x, Value.Int y ->
+      let r =
+        match op with
+        | Ast.Add -> Int64.add x y
+        | Ast.Sub -> Int64.sub x y
+        | Ast.Mul -> Int64.mul x y
+        | Ast.Div -> Int64.div x y
+        | Ast.Mod -> Int64.rem x y
+        | _ -> failwith "Lower: unsupported schedule operator"
+      in
+      Value.Int r
+    | Value.Float x, Value.Float y ->
+      let r =
+        match op with
+        | Ast.Add -> x +. y
+        | Ast.Sub -> x -. y
+        | Ast.Mul -> x *. y
+        | Ast.Div -> x /. y
+        | _ -> failwith "Lower: unsupported schedule operator"
+      in
+      Value.Float r
+    | _ -> failwith "Lower: mixed schedule expression")
+  | Ast.Unary (_, _) | Ast.Index _ | Ast.Call _ ->
+    failwith "Lower: unsupported schedule expression"
+
+let eval_int env expr =
+  match eval_const env expr with
+  | Value.Int v -> v
+  | Value.Float _ -> failwith "Lower: expected an int schedule expression"
+
+let lower (program : Ast.program) : Program.t =
+  let kernels = List.map lower_kernel program.Ast.kernels in
+  let buffers =
+    List.map
+      (fun (b : Ast.buffer_decl) ->
+        let ty = ir_ty b.Ast.bty in
+        let init =
+          match b.Ast.binit with
+          | Ast.Zeros -> Array.make b.Ast.bsize (Value.zero ty)
+          | Ast.Values vs ->
+            Array.of_list
+              (List.map
+                 (function Ast.Ilit v -> Value.Int v | Ast.Flit v -> Value.Float v)
+                 vs)
+        in
+        {
+          Program.buf_name = b.Ast.bname;
+          buf_ty = ty;
+          buf_size = b.Ast.bsize;
+          buf_init = init;
+          buf_is_output = b.Ast.bis_output;
+        })
+      program.Ast.buffers
+  in
+  let buffer_index name =
+    let rec go i = function
+      | [] -> failwith (Printf.sprintf "Lower: unknown buffer %s" name)
+      | (b : Ast.buffer_decl) :: rest ->
+        if String.equal b.Ast.bname name then i else go (i + 1) rest
+    in
+    go 0 program.Ast.buffers
+  in
+  let find_ast_kernel name =
+    match List.find_opt (fun k -> String.equal k.Ast.kname name) program.Ast.kernels with
+    | Some k -> k
+    | None -> failwith (Printf.sprintf "Lower: unknown kernel %s" name)
+  in
+  let calls = ref [] in
+  let rec elaborate env item =
+    match item with
+    | Ast.Sfor { sf_var; sf_lo; sf_hi; sf_body; _ } ->
+      let lo = eval_int env sf_lo in
+      let hi = eval_int env sf_hi in
+      let i = ref lo in
+      while Int64.compare !i hi < 0 do
+        List.iter (elaborate ((sf_var, !i) :: env)) sf_body;
+        i := Int64.add !i 1L
+      done
+    | Ast.Scall { sc_kernel; sc_args; _ } ->
+      let kernel = find_ast_kernel sc_kernel in
+      let args, label_parts =
+        List.fold_left2
+          (fun (args, labels) param arg ->
+            match param with
+            | Ast.Pbuffer _ -> (
+              match arg.Ast.e with
+              | Ast.Var bname -> (Program.Abuf (buffer_index bname) :: args, labels)
+              | _ -> failwith "Lower: buffer argument must be a name")
+            | Ast.Pscalar (pname, _) -> (
+              match eval_const env arg with
+              | Value.Int v ->
+                (Program.Aint v :: args, Printf.sprintf "%s=%Ld" pname v :: labels)
+              | Value.Float v ->
+                (Program.Afloat v :: args, Printf.sprintf "%s=%g" pname v :: labels)))
+          ([], []) kernel.Ast.kparams sc_args
+      in
+      let label =
+        if label_parts = [] then sc_kernel
+        else Printf.sprintf "%s[%s]" sc_kernel (String.concat "," (List.rev label_parts))
+      in
+      calls :=
+        { Program.callee = sc_kernel; args = List.rev args; call_label = label } :: !calls
+  in
+  List.iter (elaborate []) program.Ast.schedule;
+  { Program.kernels; buffers; schedule = List.rev !calls }

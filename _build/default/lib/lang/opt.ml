@@ -1,0 +1,407 @@
+open Ff_ir
+
+(* --- shared CFG helpers ------------------------------------------------ *)
+
+let successors code i =
+  match code.(i) with
+  | Instr.Jmp l -> [ l ]
+  | Instr.Br (_, l1, l2) -> if l1 = l2 then [ l1 ] else [ l1; l2 ]
+  | Instr.Halt -> []
+  | _ -> [ i + 1 ]
+
+let branch_targets code =
+  let n = Array.length code in
+  let targets = Array.make n false in
+  Array.iter
+    (fun instr -> List.iter (fun l -> targets.(l) <- true) (Instr.labels instr))
+    code;
+  targets
+
+(* Rebuild a kernel keeping only instructions with [keep.(i)], remapping
+   labels to the first kept instruction at or after the old target. *)
+let filter_code (kernel : Kernel.t) keep =
+  let code = kernel.Kernel.code in
+  let n = Array.length code in
+  (* new_index.(i): position of instruction i in the new code if kept;
+     forward.(i): position of the first kept instruction at index >= i. *)
+  let new_index = Array.make (n + 1) 0 in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    new_index.(i) <- !count;
+    if keep.(i) then incr count
+  done;
+  new_index.(n) <- !count;
+  let remap l = new_index.(l) in
+  let out = Array.make !count Instr.Halt in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    if keep.(i) then begin
+      let instr =
+        match code.(i) with
+        | Instr.Jmp l -> Instr.Jmp (remap l)
+        | Instr.Br (c, l1, l2) -> Instr.Br (c, remap l1, remap l2)
+        | other -> other
+      in
+      out.(!j) <- instr;
+      incr j
+    end
+  done;
+  { kernel with Kernel.code = out }
+
+(* --- constant folding -------------------------------------------------- *)
+
+let int64_max_float = 9.223372036854775808e18
+
+let fold_ibin op a b =
+  let open Int64 in
+  match op with
+  | Instr.Iadd -> Some (add a b)
+  | Instr.Isub -> Some (sub a b)
+  | Instr.Imul -> Some (mul a b)
+  | Instr.Idiv -> if equal b 0L then None else Some (div a b)
+  | Instr.Irem -> if equal b 0L then None else Some (rem a b)
+  | Instr.Iand -> Some (logand a b)
+  | Instr.Ior -> Some (logor a b)
+  | Instr.Ixor -> Some (logxor a b)
+  | Instr.Ishl -> Some (shift_left a (to_int b land 63))
+  | Instr.Ilshr -> Some (shift_right_logical a (to_int b land 63))
+  | Instr.Iashr -> Some (shift_right a (to_int b land 63))
+  | Instr.Irotl ->
+    let s = to_int b land 63 in
+    Some (if s = 0 then a else logor (shift_left a s) (shift_right_logical a (64 - s)))
+  | Instr.Irotr ->
+    let s = to_int b land 63 in
+    Some (if s = 0 then a else logor (shift_right_logical a s) (shift_left a (64 - s)))
+  | Instr.Imin -> Some (if compare a b <= 0 then a else b)
+  | Instr.Imax -> Some (if compare a b >= 0 then a else b)
+
+let fold_fbin op a b =
+  match op with
+  | Instr.Fadd -> a +. b
+  | Instr.Fsub -> a -. b
+  | Instr.Fmul -> a *. b
+  | Instr.Fdiv -> a /. b
+  | Instr.Fmin -> Float.min a b
+  | Instr.Fmax -> Float.max a b
+  | Instr.Fpow -> Float.pow a b
+
+let fold_funop op a =
+  match op with
+  | Instr.FFneg -> -.a
+  | Instr.FFabs -> Float.abs a
+  | Instr.FFsqrt -> sqrt a
+  | Instr.FFexp -> exp a
+  | Instr.FFlog -> log a
+  | Instr.FFsin -> sin a
+  | Instr.FFcos -> cos a
+  | Instr.FFfloor -> Float.floor a
+  | Instr.FFceil -> Float.ceil a
+
+let fold_cmp c r =
+  match c with
+  | Instr.Ceq -> r = 0
+  | Instr.Cne -> r <> 0
+  | Instr.Clt -> r < 0
+  | Instr.Cle -> r <= 0
+  | Instr.Cgt -> r > 0
+  | Instr.Cge -> r >= 0
+
+let fold_fcmp c a b =
+  match c with
+  | Instr.Ceq -> a = b
+  | Instr.Cne -> a <> b
+  | Instr.Clt -> a < b
+  | Instr.Cle -> a <= b
+  | Instr.Cgt -> a > b
+  | Instr.Cge -> a >= b
+
+let constant_fold (kernel : Kernel.t) =
+  let code = Array.copy kernel.Kernel.code in
+  let n = Array.length code in
+  let targets = branch_targets code in
+  let known : Value.t option array = Array.make kernel.Kernel.nregs None in
+  let reset () = Array.fill known 0 (Array.length known) None in
+  let get r = known.(r) in
+  let set_dst instr value =
+    match Instr.dst instr with
+    | Some d -> known.(d) <- value
+    | None -> ()
+  in
+  for i = 0 to n - 1 do
+    if targets.(i) then reset ();
+    let instr = code.(i) in
+    let folded =
+      match instr with
+      | Instr.Mov (d, s) -> (
+        match get s with
+        | Some (Value.Int v) -> Some (Instr.Iconst (d, v))
+        | Some (Value.Float v) -> Some (Instr.Fconst (d, v))
+        | None -> None)
+      | Instr.Ibin (op, d, a, b) -> (
+        match (get a, get b) with
+        | Some (Value.Int x), Some (Value.Int y) -> (
+          match fold_ibin op x y with
+          | Some v -> Some (Instr.Iconst (d, v))
+          | None -> None)
+        | _ -> None)
+      | Instr.Fbin (op, d, a, b) -> (
+        match (get a, get b) with
+        | Some (Value.Float x), Some (Value.Float y) ->
+          Some (Instr.Fconst (d, fold_fbin op x y))
+        | _ -> None)
+      | Instr.Iun (op, d, a) -> (
+        match get a with
+        | Some (Value.Int x) ->
+          let v = match op with Instr.Ineg -> Int64.neg x | Instr.Inot -> Int64.lognot x in
+          Some (Instr.Iconst (d, v))
+        | _ -> None)
+      | Instr.Fun1 (op, d, a) -> (
+        match get a with
+        | Some (Value.Float x) -> Some (Instr.Fconst (d, fold_funop op x))
+        | _ -> None)
+      | Instr.Icmp (c, d, a, b) -> (
+        match (get a, get b) with
+        | Some (Value.Int x), Some (Value.Int y) ->
+          Some (Instr.Iconst (d, if fold_cmp c (Int64.compare x y) then 1L else 0L))
+        | _ -> None)
+      | Instr.Fcmp (c, d, a, b) -> (
+        match (get a, get b) with
+        | Some (Value.Float x), Some (Value.Float y) ->
+          Some (Instr.Iconst (d, if fold_fcmp c x y then 1L else 0L))
+        | _ -> None)
+      | Instr.Cast (c, d, a) -> (
+        match (c, get a) with
+        | Instr.Itof, Some (Value.Int x) -> Some (Instr.Fconst (d, Int64.to_float x))
+        | Instr.Ftoi, Some (Value.Float x)
+          when Float.is_finite x && x < int64_max_float && x >= -.int64_max_float ->
+          Some (Instr.Iconst (d, Int64.of_float x))
+        | Instr.Fbits, Some (Value.Float x) -> Some (Instr.Iconst (d, Int64.bits_of_float x))
+        | Instr.Bitsf, Some (Value.Int x) -> Some (Instr.Fconst (d, Int64.float_of_bits x))
+        | _ -> None)
+      | Instr.Select (d, c, a, b) -> (
+        match get c with
+        | Some (Value.Int cv) -> Some (Instr.Mov (d, if cv <> 0L then a else b))
+        | _ -> None)
+      | Instr.Br (c, l1, l2) -> (
+        match get c with
+        | Some (Value.Int cv) -> Some (Instr.Jmp (if cv <> 0L then l1 else l2))
+        | _ -> None)
+      | _ -> None
+    in
+    (match folded with
+    | Some instr' -> code.(i) <- instr'
+    | None -> ());
+    (* Update the constant map from the (possibly rewritten) instruction. *)
+    (match code.(i) with
+    | Instr.Iconst (_, v) -> set_dst code.(i) (Some (Value.Int v))
+    | Instr.Fconst (_, v) -> set_dst code.(i) (Some (Value.Float v))
+    | Instr.Mov (d, s) -> known.(d) <- get s
+    | instr' -> set_dst instr' None)
+  done;
+  { kernel with Kernel.code = code }
+
+(* --- copy propagation ---------------------------------------------------- *)
+
+let copy_propagate (kernel : Kernel.t) =
+  let code = Array.copy kernel.Kernel.code in
+  let n = Array.length code in
+  let targets = branch_targets code in
+  (* copy_of.(r) = Some s: register r currently holds the value of s. *)
+  let copy_of = Array.make kernel.Kernel.nregs None in
+  let reset () = Array.fill copy_of 0 (Array.length copy_of) None in
+  let resolve r = match copy_of.(r) with Some s -> s | None -> r in
+  let invalidate d =
+    copy_of.(d) <- None;
+    Array.iteri (fun r c -> if c = Some d then copy_of.(r) <- None) copy_of
+  in
+  for i = 0 to n - 1 do
+    if targets.(i) then reset ();
+    let rewritten = Instr.map_srcs resolve code.(i) in
+    code.(i) <- rewritten;
+    match rewritten with
+    | Instr.Mov (d, s) ->
+      invalidate d;
+      if d <> s then copy_of.(d) <- Some s
+    | instr -> (
+      match Instr.dst instr with
+      | Some d -> invalidate d
+      | None -> ())
+  done;
+  { kernel with Kernel.code = code }
+
+(* --- jump simplification ----------------------------------------------- *)
+
+let simplify_jumps (kernel : Kernel.t) =
+  let code = Array.copy kernel.Kernel.code in
+  let n = Array.length code in
+  (* Follow chains of Jmp with a step bound to guard against cycles. *)
+  let rec chase l steps =
+    if steps = 0 then l
+    else
+      match code.(l) with
+      | Instr.Jmp l' when l' <> l -> chase l' (steps - 1)
+      | _ -> l
+  in
+  for i = 0 to n - 1 do
+    match code.(i) with
+    | Instr.Br (c, l1, l2) ->
+      let l1 = chase l1 8 in
+      let l2 = chase l2 8 in
+      code.(i) <- (if l1 = l2 then Instr.Jmp l1 else Instr.Br (c, l1, l2))
+    | Instr.Jmp l ->
+      let l' = chase l 8 in
+      if l' <> l then code.(i) <- Instr.Jmp l'
+    | _ -> ()
+  done;
+  { kernel with Kernel.code = code }
+
+(* --- unreachable code removal ------------------------------------------ *)
+
+let remove_unreachable (kernel : Kernel.t) =
+  let code = kernel.Kernel.code in
+  let n = Array.length code in
+  let reachable = Array.make n false in
+  let rec visit i =
+    if i >= 0 && i < n && not reachable.(i) then begin
+      reachable.(i) <- true;
+      List.iter visit (successors code i)
+    end
+  in
+  visit 0;
+  if Array.for_all Fun.id reachable then kernel else filter_code kernel reachable
+
+(* --- common subexpression elimination ------------------------------------ *)
+
+(* Available-expression key: the instruction with its destination field
+   normalized away. *)
+let cse_key instr =
+  match (instr : Instr.t) with
+  | Instr.Ibin (op, _, a, b) -> Some (Instr.Ibin (op, 0, a, b))
+  | Instr.Fbin (op, _, a, b) -> Some (Instr.Fbin (op, 0, a, b))
+  | Instr.Iun (op, _, a) -> Some (Instr.Iun (op, 0, a))
+  | Instr.Fun1 (op, _, a) -> Some (Instr.Fun1 (op, 0, a))
+  | Instr.Icmp (c, _, a, b) -> Some (Instr.Icmp (c, 0, a, b))
+  | Instr.Fcmp (c, _, a, b) -> Some (Instr.Fcmp (c, 0, a, b))
+  | Instr.Cast (c, _, a) -> Some (Instr.Cast (c, 0, a))
+  | Instr.Select (_, c, a, b) -> Some (Instr.Select (0, c, a, b))
+  | Instr.Iconst (_, v) -> Some (Instr.Iconst (0, v))
+  | Instr.Fconst (_, v) -> Some (Instr.Fconst (0, v))
+  (* Loads are not CSE'd: a Store in between may change the element, and
+     tracking buffer aliasing is not worth it at this scale. *)
+  | Instr.Mov _ | Instr.Load _ | Instr.Store _ | Instr.Jmp _ | Instr.Br _ | Instr.Halt ->
+    None
+
+let common_subexpressions (kernel : Kernel.t) =
+  let code = Array.copy kernel.Kernel.code in
+  let n = Array.length code in
+  let targets = branch_targets code in
+  let available : (Instr.t, Instr.reg) Hashtbl.t = Hashtbl.create 64 in
+  let invalidate r =
+    (* Drop every available expression that reads or is held in r. *)
+    let stale =
+      Hashtbl.fold
+        (fun key holder acc ->
+          if holder = r || List.mem r (Instr.srcs key) then key :: acc else acc)
+        available []
+    in
+    List.iter (Hashtbl.remove available) stale
+  in
+  for i = 0 to n - 1 do
+    if targets.(i) then Hashtbl.reset available;
+    let instr = code.(i) in
+    (match (cse_key instr, Instr.dst instr) with
+    | Some key, Some d -> (
+      match Hashtbl.find_opt available key with
+      | Some holder when holder <> d ->
+        code.(i) <- Instr.Mov (d, holder);
+        invalidate d
+      | Some _ | None ->
+        invalidate d;
+        (* Only register the value if the destination is not one of its
+           own operands (else the source value is gone). *)
+        if not (List.mem d (Instr.srcs key)) then Hashtbl.replace available key d)
+    | _, Some d -> invalidate d
+    | _, None -> ())
+  done;
+  { kernel with Kernel.code = code }
+
+(* --- dead code elimination ---------------------------------------------- *)
+
+let is_pure = function
+  | Instr.Store _ | Instr.Jmp _ | Instr.Br _ | Instr.Halt -> false
+  | Instr.Mov _ | Instr.Iconst _ | Instr.Fconst _ | Instr.Ibin _ | Instr.Fbin _
+  | Instr.Iun _ | Instr.Fun1 _ | Instr.Icmp _ | Instr.Fcmp _ | Instr.Cast _
+  | Instr.Select _ | Instr.Load _ -> true
+
+let liveness (kernel : Kernel.t) =
+  let code = kernel.Kernel.code in
+  let n = Array.length code in
+  let nregs = kernel.Kernel.nregs in
+  let live_in = Array.init n (fun _ -> Array.make nregs false) in
+  let live_out = Array.init n (fun _ -> Array.make nregs false) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out = live_out.(i) in
+      List.iter
+        (fun s ->
+          if s < n then begin
+            let s_in = live_in.(s) in
+            for r = 0 to nregs - 1 do
+              if s_in.(r) && not (out.(r)) then begin
+                out.(r) <- true;
+                changed := true
+              end
+            done
+          end)
+        (successors code i);
+      let inn = live_in.(i) in
+      let def = Instr.dst code.(i) in
+      for r = 0 to nregs - 1 do
+        let v = out.(r) && Some r <> def in
+        if v && not inn.(r) then begin
+          inn.(r) <- true;
+          changed := true
+        end
+      done;
+      List.iter
+        (fun r ->
+          if not inn.(r) then begin
+            inn.(r) <- true;
+            changed := true
+          end)
+        (Instr.srcs code.(i))
+    done
+  done;
+  live_out
+
+let dce_once (kernel : Kernel.t) =
+  let code = kernel.Kernel.code in
+  let n = Array.length code in
+  let live_out = liveness kernel in
+  let keep = Array.make n true in
+  let removed = ref false in
+  for i = 0 to n - 1 do
+    match Instr.dst code.(i) with
+    | Some d when is_pure code.(i) && not live_out.(i).(d) ->
+      keep.(i) <- false;
+      removed := true
+    | _ -> ()
+  done;
+  if !removed then Some (filter_code kernel keep) else None
+
+let dead_code_elimination kernel =
+  let rec go k =
+    match dce_once k with
+    | Some k' -> go k'
+    | None -> k
+  in
+  go kernel
+
+let optimize kernel =
+  let pipeline k =
+    k |> constant_fold |> copy_propagate |> simplify_jumps |> remove_unreachable
+    |> dead_code_elimination
+  in
+  pipeline (pipeline kernel)

@@ -1,0 +1,45 @@
+(** IR optimization passes.
+
+    All passes are semantics-preserving for error-free executions (which
+    define the golden trace the analyses run against). They matter to the
+    reproduction for two reasons: they keep kernel traces small, and they
+    are the compiler half of the "developers or compilers optimize the
+    program" evolution story of the paper (§5.5).
+
+    Golden-trap caveat: an instruction that could trap (integer division,
+    float-to-int conversion) is removed when dead and folded only when
+    provably non-trapping, so a program whose golden run traps may stop
+    trapping after optimization. Benchmarks never rely on golden traps
+    ({!Ff_vm.Golden.run} rejects them). *)
+
+val constant_fold : Ff_ir.Kernel.t -> Ff_ir.Kernel.t
+(** Local constant propagation and folding. The register-constant map
+    resets at branch targets; instruction count and labels are
+    unchanged (a folded [Br] becomes a [Jmp] in place). *)
+
+val copy_propagate : Ff_ir.Kernel.t -> Ff_ir.Kernel.t
+(** Local (basic-block) copy propagation through [Mov]s; the copies
+    themselves become dead and fall to {!dead_code_elimination}. *)
+
+val simplify_jumps : Ff_ir.Kernel.t -> Ff_ir.Kernel.t
+(** Collapse [Br c, l, l] into [Jmp l] and follow jump-to-jump chains. *)
+
+val remove_unreachable : Ff_ir.Kernel.t -> Ff_ir.Kernel.t
+(** Delete instructions not reachable from the entry, remapping labels. *)
+
+val common_subexpressions : Ff_ir.Kernel.t -> Ff_ir.Kernel.t
+(** Local (basic-block) common-subexpression elimination: a pure
+    instruction recomputing an available (opcode, operands) value becomes
+    a [Mov] from the register that already holds it. NOT part of
+    {!optimize}: the paper's Small modifications are hand-applied CSE, and
+    folding it into the default pipeline would erase the very difference
+    between the None and Small benchmark versions. Offered for clients
+    that want a more aggressive compiler. *)
+
+val dead_code_elimination : Ff_ir.Kernel.t -> Ff_ir.Kernel.t
+(** Global liveness-based removal of pure instructions whose destination
+    is never read, iterated to a fixpoint, with label remapping. *)
+
+val optimize : Ff_ir.Kernel.t -> Ff_ir.Kernel.t
+(** The standard pipeline: fold, copy-propagate, simplify, prune, DCE —
+    run twice. *)

@@ -1,0 +1,434 @@
+type error = {
+  loc : Loc.t;
+  message : string;
+}
+
+let pp_error fmt { loc; message } = Format.fprintf fmt "%a: %s" Loc.pp loc message
+
+exception Parse_error of error
+
+type state = {
+  tokens : Token.spanned array;
+  mutable pos : int;
+}
+
+let current st = st.tokens.(st.pos)
+
+let loc st = (current st).Token.loc
+
+let fail st message = raise (Parse_error { loc = loc st; message })
+
+let failf st fmt = Printf.ksprintf (fail st) fmt
+
+let advance st = if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
+
+let check st tok = Token.equal (current st).Token.token tok
+
+let eat st tok =
+  if check st tok then advance st
+  else
+    failf st "expected %s but found %s" (Token.to_string tok)
+      (Token.to_string (current st).Token.token)
+
+let eat_ident st =
+  match (current st).Token.token with
+  | Token.IDENT name ->
+    advance st;
+    name
+  | tok -> failf st "expected identifier but found %s" (Token.to_string tok)
+
+let eat_int st =
+  match (current st).Token.token with
+  | Token.INT v ->
+    advance st;
+    v
+  | tok -> failf st "expected integer literal but found %s" (Token.to_string tok)
+
+let parse_ty st =
+  match (current st).Token.token with
+  | Token.KW_INT ->
+    advance st;
+    Ast.Tint
+  | Token.KW_FLOAT ->
+    advance st;
+    Ast.Tfloat
+  | tok -> failf st "expected a type but found %s" (Token.to_string tok)
+
+(* --- expressions ------------------------------------------------------ *)
+
+let binop_of_token = function
+  | Token.OROR -> Some (0, Ast.LogOr)
+  | Token.ANDAND -> Some (1, Ast.LogAnd)
+  | Token.PIPE -> Some (2, Ast.BitOr)
+  | Token.CARET -> Some (3, Ast.BitXor)
+  | Token.AMP -> Some (4, Ast.BitAnd)
+  | Token.EQ -> Some (5, Ast.Eq)
+  | Token.NE -> Some (5, Ast.Ne)
+  | Token.LT -> Some (6, Ast.Lt)
+  | Token.LE -> Some (6, Ast.Le)
+  | Token.GT -> Some (6, Ast.Gt)
+  | Token.GE -> Some (6, Ast.Ge)
+  | Token.SHL -> Some (7, Ast.Shl)
+  | Token.SHR -> Some (7, Ast.Shr)
+  | Token.PLUS -> Some (8, Ast.Add)
+  | Token.MINUS -> Some (8, Ast.Sub)
+  | Token.STAR -> Some (9, Ast.Mul)
+  | Token.SLASH -> Some (9, Ast.Div)
+  | Token.PERCENT -> Some (9, Ast.Mod)
+  | _ -> None
+
+let rec parse_expr_prec st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match binop_of_token (current st).Token.token with
+    | Some (prec, op) when prec >= min_prec ->
+      let eloc = loc st in
+      advance st;
+      (* left-associative: the right operand binds one level tighter *)
+      let rhs = parse_expr_prec st (prec + 1) in
+      lhs := { Ast.e = Ast.Binary (op, !lhs, rhs); eloc }
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let eloc = loc st in
+  match (current st).Token.token with
+  | Token.MINUS ->
+    advance st;
+    { Ast.e = Ast.Unary (Ast.Neg, parse_unary st); eloc }
+  | Token.BANG ->
+    advance st;
+    { Ast.e = Ast.Unary (Ast.LogNot, parse_unary st); eloc }
+  | Token.TILDE ->
+    advance st;
+    { Ast.e = Ast.Unary (Ast.BitNot, parse_unary st); eloc }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let eloc = loc st in
+  match (current st).Token.token with
+  | Token.INT v ->
+    advance st;
+    { Ast.e = Ast.Int_lit v; eloc }
+  | Token.FLOAT v ->
+    advance st;
+    { Ast.e = Ast.Float_lit v; eloc }
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr_prec st 0 in
+    eat st Token.RPAREN;
+    e
+  | Token.IDENT name ->
+    advance st;
+    (match (current st).Token.token with
+    | Token.LBRACKET ->
+      advance st;
+      let idx = parse_expr_prec st 0 in
+      eat st Token.RBRACKET;
+      { Ast.e = Ast.Index (name, idx); eloc }
+    | Token.LPAREN ->
+      advance st;
+      let args = parse_args st in
+      eat st Token.RPAREN;
+      { Ast.e = Ast.Call (name, args); eloc }
+    | _ -> { Ast.e = Ast.Var name; eloc })
+  | tok -> failf st "expected an expression but found %s" (Token.to_string tok)
+
+and parse_args st =
+  if check st Token.RPAREN then []
+  else begin
+    let rec go acc =
+      let e = parse_expr_prec st 0 in
+      if check st Token.COMMA then begin
+        advance st;
+        go (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    go []
+  end
+
+let parse_expression st = parse_expr_prec st 0
+
+(* --- statements ------------------------------------------------------- *)
+
+let rec parse_block st =
+  eat st Token.LBRACE;
+  let rec go acc =
+    if check st Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmt st =
+  let sloc = loc st in
+  match (current st).Token.token with
+  | Token.KW_VAR ->
+    advance st;
+    let name = eat_ident st in
+    eat st Token.COLON;
+    let ty = parse_ty st in
+    eat st Token.ASSIGN;
+    let init = parse_expression st in
+    eat st Token.SEMI;
+    { Ast.s = Ast.Decl (name, ty, init); sloc }
+  | Token.KW_IF ->
+    advance st;
+    eat st Token.LPAREN;
+    let cond = parse_expression st in
+    eat st Token.RPAREN;
+    let then_blk = parse_block st in
+    let else_blk =
+      if check st Token.KW_ELSE then begin
+        advance st;
+        if check st Token.KW_IF then [ parse_stmt st ] else parse_block st
+      end
+      else []
+    in
+    { Ast.s = Ast.If (cond, then_blk, else_blk); sloc }
+  | Token.KW_WHILE ->
+    advance st;
+    eat st Token.LPAREN;
+    let cond = parse_expression st in
+    eat st Token.RPAREN;
+    let body = parse_block st in
+    { Ast.s = Ast.While (cond, body); sloc }
+  | Token.KW_FOR ->
+    advance st;
+    let var = eat_ident st in
+    eat st Token.KW_IN;
+    let lo = parse_expression st in
+    eat st Token.DOTDOT;
+    let hi = parse_expression st in
+    let body = parse_block st in
+    { Ast.s = Ast.For (var, lo, hi, body); sloc }
+  | Token.IDENT name ->
+    advance st;
+    (match (current st).Token.token with
+    | Token.ASSIGN ->
+      advance st;
+      let rhs = parse_expression st in
+      eat st Token.SEMI;
+      { Ast.s = Ast.Assign (name, rhs); sloc }
+    | Token.LBRACKET ->
+      advance st;
+      let idx = parse_expression st in
+      eat st Token.RBRACKET;
+      eat st Token.ASSIGN;
+      let rhs = parse_expression st in
+      eat st Token.SEMI;
+      { Ast.s = Ast.Store (name, idx, rhs); sloc }
+    | tok -> failf st "expected = or [ after identifier but found %s" (Token.to_string tok))
+  | tok -> failf st "expected a statement but found %s" (Token.to_string tok)
+
+(* --- declarations ----------------------------------------------------- *)
+
+let parse_param st =
+  match (current st).Token.token with
+  | Token.KW_IN | Token.KW_OUT | Token.KW_INOUT ->
+    let mode =
+      match (current st).Token.token with
+      | Token.KW_IN -> Ast.Min
+      | Token.KW_OUT -> Ast.Mout
+      | _ -> Ast.Minout
+    in
+    advance st;
+    let name = eat_ident st in
+    eat st Token.COLON;
+    let ty = parse_ty st in
+    eat st Token.LBRACKET;
+    eat st Token.RBRACKET;
+    Ast.Pbuffer (name, ty, mode)
+  | Token.IDENT _ ->
+    let name = eat_ident st in
+    eat st Token.COLON;
+    let ty = parse_ty st in
+    Ast.Pscalar (name, ty)
+  | tok -> failf st "expected a parameter but found %s" (Token.to_string tok)
+
+let parse_params st =
+  eat st Token.LPAREN;
+  if check st Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let p = parse_param st in
+      if check st Token.COMMA then begin
+        advance st;
+        go (p :: acc)
+      end
+      else begin
+        eat st Token.RPAREN;
+        List.rev (p :: acc)
+      end
+    in
+    go []
+  end
+
+let parse_kernel st =
+  let kloc = loc st in
+  eat st Token.KW_KERNEL;
+  let kname = eat_ident st in
+  let kparams = parse_params st in
+  let kbody = parse_block st in
+  { Ast.kname; kparams; kbody; kloc }
+
+let parse_value_lit st =
+  match (current st).Token.token with
+  | Token.INT v ->
+    advance st;
+    Ast.Ilit v
+  | Token.FLOAT v ->
+    advance st;
+    Ast.Flit v
+  | Token.MINUS ->
+    advance st;
+    (match (current st).Token.token with
+    | Token.INT v ->
+      advance st;
+      Ast.Ilit (Int64.neg v)
+    | Token.FLOAT v ->
+      advance st;
+      Ast.Flit (-.v)
+    | tok -> failf st "expected a numeric literal after - but found %s" (Token.to_string tok))
+  | tok -> failf st "expected a numeric literal but found %s" (Token.to_string tok)
+
+let parse_buffer st ~is_output =
+  let bloc = loc st in
+  eat st Token.KW_BUFFER;
+  let bname = eat_ident st in
+  eat st Token.COLON;
+  let bty = parse_ty st in
+  eat st Token.LBRACKET;
+  let bsize = Int64.to_int (eat_int st) in
+  eat st Token.RBRACKET;
+  let binit =
+    if check st Token.ASSIGN then begin
+      advance st;
+      if check st Token.KW_ZEROS then begin
+        advance st;
+        Ast.Zeros
+      end
+      else begin
+        eat st Token.LBRACE;
+        let rec go acc =
+          let v = parse_value_lit st in
+          if check st Token.COMMA then begin
+            advance st;
+            (* allow a trailing comma before the closing brace *)
+            if check st Token.RBRACE then begin
+              advance st;
+              List.rev (v :: acc)
+            end
+            else go (v :: acc)
+          end
+          else begin
+            eat st Token.RBRACE;
+            List.rev (v :: acc)
+          end
+        in
+        Ast.Values (go [])
+      end
+    end
+    else Ast.Zeros
+  in
+  eat st Token.SEMI;
+  { Ast.bname; bty; bsize; binit; bis_output = is_output; bloc }
+
+let rec parse_sched_item st =
+  let sc_loc = loc st in
+  match (current st).Token.token with
+  | Token.KW_CALL ->
+    advance st;
+    let sc_kernel = eat_ident st in
+    eat st Token.LPAREN;
+    let sc_args = parse_args st in
+    eat st Token.RPAREN;
+    eat st Token.SEMI;
+    Ast.Scall { sc_kernel; sc_args; sc_loc }
+  | Token.KW_FOR ->
+    advance st;
+    let sf_var = eat_ident st in
+    eat st Token.KW_IN;
+    let sf_lo = parse_expression st in
+    eat st Token.DOTDOT;
+    let sf_hi = parse_expression st in
+    eat st Token.LBRACE;
+    let rec go acc =
+      if check st Token.RBRACE then begin
+        advance st;
+        List.rev acc
+      end
+      else go (parse_sched_item st :: acc)
+    in
+    Ast.Sfor { sf_var; sf_lo; sf_hi; sf_body = go []; sf_loc = sc_loc }
+  | tok -> failf st "expected call or for in schedule but found %s" (Token.to_string tok)
+
+let parse_schedule st =
+  eat st Token.KW_SCHEDULE;
+  eat st Token.LBRACE;
+  let rec go acc =
+    if check st Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_sched_item st :: acc)
+  in
+  go []
+
+let parse_program st =
+  let buffers = ref [] in
+  let kernels = ref [] in
+  let schedule = ref None in
+  let rec go () =
+    match (current st).Token.token with
+    | Token.EOF -> ()
+    | Token.KW_OUTPUT ->
+      advance st;
+      buffers := parse_buffer st ~is_output:true :: !buffers;
+      go ()
+    | Token.KW_BUFFER ->
+      buffers := parse_buffer st ~is_output:false :: !buffers;
+      go ()
+    | Token.KW_KERNEL ->
+      kernels := parse_kernel st :: !kernels;
+      go ()
+    | Token.KW_SCHEDULE ->
+      (match !schedule with
+      | Some _ -> fail st "duplicate schedule block"
+      | None ->
+        schedule := Some (parse_schedule st);
+        go ())
+    | tok -> failf st "expected a top-level declaration but found %s" (Token.to_string tok)
+  in
+  go ();
+  match !schedule with
+  | None -> fail st "program has no schedule block"
+  | Some sched ->
+    {
+      Ast.buffers = List.rev !buffers;
+      kernels = List.rev !kernels;
+      schedule = sched;
+    }
+
+let with_tokens src k =
+  match Lexer.tokenize src with
+  | Error { Lexer.loc; message } -> Error { loc; message }
+  | Ok tokens -> (
+    let st = { tokens = Array.of_list tokens; pos = 0 } in
+    try Ok (k st) with Parse_error e -> Error e)
+
+let parse src = with_tokens src parse_program
+
+let parse_expr src =
+  with_tokens src (fun st ->
+      let e = parse_expression st in
+      eat st Token.EOF;
+      e)

@@ -1,0 +1,18 @@
+(** Recursive-descent parser for the kernel language.
+
+    Operator precedence (loosest to tightest):
+    [||] < [&&] < [|] < [^] < [&] < [== !=] < [< <= > >=] < [<< >>]
+    < [+ -] < [* / %] < unary [- ! ~]. *)
+
+type error = {
+  loc : Loc.t;
+  message : string;
+}
+
+val parse : string -> (Ast.program, error) result
+(** Lex and parse a whole source file. *)
+
+val parse_expr : string -> (Ast.expr, error) result
+(** Parse a single expression (used by tests and the REPL-ish examples). *)
+
+val pp_error : Format.formatter -> error -> unit

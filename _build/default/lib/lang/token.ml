@@ -1,0 +1,80 @@
+type t =
+  | INT of int64
+  | FLOAT of float
+  | IDENT of string
+  | KW_BUFFER | KW_OUTPUT | KW_KERNEL | KW_SCHEDULE | KW_CALL
+  | KW_VAR | KW_IF | KW_ELSE | KW_WHILE | KW_FOR
+  | KW_INT | KW_FLOAT | KW_ZEROS
+  | KW_IN | KW_OUT | KW_INOUT
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI | COLON | ASSIGN | DOTDOT
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | NE | LT | LE | GT | GE
+  | ANDAND | OROR | BANG
+  | AMP | PIPE | CARET | TILDE | SHL | SHR
+  | EOF
+
+let equal (a : t) (b : t) =
+  match (a, b) with
+  | FLOAT x, FLOAT y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> a = b
+
+let pp fmt = function
+  | INT v -> Format.fprintf fmt "%Ld" v
+  | FLOAT v -> Format.fprintf fmt "%g" v
+  | IDENT s -> Format.pp_print_string fmt s
+  | KW_BUFFER -> Format.pp_print_string fmt "buffer"
+  | KW_OUTPUT -> Format.pp_print_string fmt "output"
+  | KW_KERNEL -> Format.pp_print_string fmt "kernel"
+  | KW_SCHEDULE -> Format.pp_print_string fmt "schedule"
+  | KW_CALL -> Format.pp_print_string fmt "call"
+  | KW_VAR -> Format.pp_print_string fmt "var"
+  | KW_IF -> Format.pp_print_string fmt "if"
+  | KW_ELSE -> Format.pp_print_string fmt "else"
+  | KW_WHILE -> Format.pp_print_string fmt "while"
+  | KW_FOR -> Format.pp_print_string fmt "for"
+  | KW_INT -> Format.pp_print_string fmt "int"
+  | KW_FLOAT -> Format.pp_print_string fmt "float"
+  | KW_ZEROS -> Format.pp_print_string fmt "zeros"
+  | KW_IN -> Format.pp_print_string fmt "in"
+  | KW_OUT -> Format.pp_print_string fmt "out"
+  | KW_INOUT -> Format.pp_print_string fmt "inout"
+  | LPAREN -> Format.pp_print_string fmt "("
+  | RPAREN -> Format.pp_print_string fmt ")"
+  | LBRACE -> Format.pp_print_string fmt "{"
+  | RBRACE -> Format.pp_print_string fmt "}"
+  | LBRACKET -> Format.pp_print_string fmt "["
+  | RBRACKET -> Format.pp_print_string fmt "]"
+  | COMMA -> Format.pp_print_string fmt ","
+  | SEMI -> Format.pp_print_string fmt ";"
+  | COLON -> Format.pp_print_string fmt ":"
+  | ASSIGN -> Format.pp_print_string fmt "="
+  | DOTDOT -> Format.pp_print_string fmt ".."
+  | PLUS -> Format.pp_print_string fmt "+"
+  | MINUS -> Format.pp_print_string fmt "-"
+  | STAR -> Format.pp_print_string fmt "*"
+  | SLASH -> Format.pp_print_string fmt "/"
+  | PERCENT -> Format.pp_print_string fmt "%"
+  | EQ -> Format.pp_print_string fmt "=="
+  | NE -> Format.pp_print_string fmt "!="
+  | LT -> Format.pp_print_string fmt "<"
+  | LE -> Format.pp_print_string fmt "<="
+  | GT -> Format.pp_print_string fmt ">"
+  | GE -> Format.pp_print_string fmt ">="
+  | ANDAND -> Format.pp_print_string fmt "&&"
+  | OROR -> Format.pp_print_string fmt "||"
+  | BANG -> Format.pp_print_string fmt "!"
+  | AMP -> Format.pp_print_string fmt "&"
+  | PIPE -> Format.pp_print_string fmt "|"
+  | CARET -> Format.pp_print_string fmt "^"
+  | TILDE -> Format.pp_print_string fmt "~"
+  | SHL -> Format.pp_print_string fmt "<<"
+  | SHR -> Format.pp_print_string fmt ">>"
+  | EOF -> Format.pp_print_string fmt "<eof>"
+
+let to_string t = Format.asprintf "%a" pp t
+
+type spanned = {
+  token : t;
+  loc : Loc.t;
+}

@@ -1,0 +1,31 @@
+(** Lexical tokens of the kernel language. *)
+
+type t =
+  | INT of int64
+  | FLOAT of float
+  | IDENT of string
+  (* keywords *)
+  | KW_BUFFER | KW_OUTPUT | KW_KERNEL | KW_SCHEDULE | KW_CALL
+  | KW_VAR | KW_IF | KW_ELSE | KW_WHILE | KW_FOR
+  | KW_INT | KW_FLOAT | KW_ZEROS
+  | KW_IN | KW_OUT | KW_INOUT
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI | COLON | ASSIGN | DOTDOT
+  (* operators *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | NE | LT | LE | GT | GE
+  | ANDAND | OROR | BANG
+  | AMP | PIPE | CARET | TILDE | SHL | SHR
+  | EOF
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+type spanned = {
+  token : t;
+  loc : Loc.t;
+}

@@ -1,0 +1,286 @@
+type error = {
+  loc : Loc.t;
+  message : string;
+}
+
+let pp_error fmt { loc; message } = Format.fprintf fmt "%a: %s" Loc.pp loc message
+
+exception Type_error of error
+
+let fail loc fmt = Printf.ksprintf (fun message -> raise (Type_error { loc; message })) fmt
+
+type var_info = {
+  v_ty : Ast.ty;
+  v_mutable : bool;
+}
+
+type buf_info = {
+  b_ty : Ast.ty;
+  b_mode : Ast.mode;
+}
+
+type env = {
+  vars : (string, var_info) Hashtbl.t;
+  bufs : (string, buf_info) Hashtbl.t;
+}
+
+let ty_name = function Ast.Tint -> "int" | Ast.Tfloat -> "float"
+
+let find_builtin name =
+  List.find_opt (fun (n, _, _) -> String.equal n name) Ast.builtins
+
+let rec infer env (expr : Ast.expr) : Ast.ty =
+  let loc = expr.Ast.eloc in
+  match expr.Ast.e with
+  | Ast.Int_lit _ -> Ast.Tint
+  | Ast.Float_lit _ -> Ast.Tfloat
+  | Ast.Var x -> (
+    match Hashtbl.find_opt env.vars x with
+    | Some { v_ty; _ } -> v_ty
+    | None ->
+      if Hashtbl.mem env.bufs x then
+        fail loc "buffer %s must be accessed with an index" x
+      else fail loc "unknown variable %s" x)
+  | Ast.Index (b, idx) -> (
+    match Hashtbl.find_opt env.bufs b with
+    | None -> fail loc "unknown buffer %s" b
+    | Some { b_ty; _ } ->
+      let ity = infer env idx in
+      if ity <> Ast.Tint then fail loc "index into %s has type %s, expected int" b (ty_name ity);
+      b_ty)
+  | Ast.Unary (op, a) -> (
+    let aty = infer env a in
+    match op with
+    | Ast.Neg -> aty
+    | Ast.LogNot | Ast.BitNot ->
+      if aty <> Ast.Tint then fail loc "operand of %s must be int"
+        (match op with Ast.LogNot -> "!" | _ -> "~");
+      Ast.Tint)
+  | Ast.Binary (op, a, b) -> (
+    let aty = infer env a in
+    let bty = infer env b in
+    if aty <> bty then
+      fail loc "operands have mismatched types %s and %s (no implicit conversions)"
+        (ty_name aty) (ty_name bty);
+    match op with
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div -> aty
+    | Ast.Mod | Ast.LogAnd | Ast.LogOr | Ast.BitAnd | Ast.BitOr | Ast.BitXor
+    | Ast.Shl | Ast.Shr ->
+      if aty <> Ast.Tint then fail loc "integer operator applied to float operands";
+      Ast.Tint
+    | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> Ast.Tint)
+  | Ast.Call ("select", args) -> (
+    match args with
+    | [ c; a; b ] ->
+      let cty = infer env c in
+      if cty <> Ast.Tint then fail loc "select condition must be int";
+      let aty = infer env a in
+      let bty = infer env b in
+      if aty <> bty then fail loc "select branches have mismatched types";
+      aty
+    | _ -> fail loc "select expects 3 arguments, got %d" (List.length args))
+  | Ast.Call (f, args) -> (
+    match find_builtin f with
+    | None -> fail loc "unknown function %s" f
+    | Some (_, param_tys, ret_ty) ->
+      if List.length args <> List.length param_tys then
+        fail loc "%s expects %d arguments, got %d" f (List.length param_tys)
+          (List.length args);
+      List.iteri
+        (fun i (arg, want) ->
+          let got = infer env arg in
+          if got <> want then
+            fail loc "argument %d of %s has type %s, expected %s" (i + 1) f (ty_name got)
+              (ty_name want))
+        (List.combine args param_tys);
+      ret_ty)
+
+let rec check_stmt env (stmt : Ast.stmt) =
+  let loc = stmt.Ast.sloc in
+  match stmt.Ast.s with
+  | Ast.Decl (name, ty, init) ->
+    if Hashtbl.mem env.vars name then fail loc "redeclaration of variable %s" name;
+    if Hashtbl.mem env.bufs name then fail loc "%s is already a buffer parameter" name;
+    let ity = infer env init in
+    if ity <> ty then
+      fail loc "initializer of %s has type %s, expected %s" name (ty_name ity) (ty_name ty);
+    Hashtbl.replace env.vars name { v_ty = ty; v_mutable = true }
+  | Ast.Assign (name, rhs) -> (
+    match Hashtbl.find_opt env.vars name with
+    | None ->
+      if Hashtbl.mem env.bufs name then
+        fail loc "buffer %s must be written with an index" name
+      else fail loc "assignment to undeclared variable %s" name
+    | Some { v_ty; v_mutable } ->
+      if not v_mutable then fail loc "loop variable %s is immutable" name;
+      let rty = infer env rhs in
+      if rty <> v_ty then
+        fail loc "assignment to %s has type %s, expected %s" name (ty_name rty) (ty_name v_ty))
+  | Ast.Store (name, idx, rhs) -> (
+    match Hashtbl.find_opt env.bufs name with
+    | None -> fail loc "store to unknown buffer %s" name
+    | Some { b_ty; b_mode } ->
+      (match b_mode with
+      | Ast.Min -> fail loc "store to read-only (in) buffer %s" name
+      | Ast.Mout | Ast.Minout -> ());
+      let ity = infer env idx in
+      if ity <> Ast.Tint then fail loc "index into %s must be int" name;
+      let rty = infer env rhs in
+      if rty <> b_ty then
+        fail loc "store to %s has type %s, expected %s" name (ty_name rty) (ty_name b_ty))
+  | Ast.If (cond, then_blk, else_blk) ->
+    let cty = infer env cond in
+    if cty <> Ast.Tint then fail loc "if condition must be int";
+    List.iter (check_stmt env) then_blk;
+    List.iter (check_stmt env) else_blk
+  | Ast.While (cond, body) ->
+    let cty = infer env cond in
+    if cty <> Ast.Tint then fail loc "while condition must be int";
+    List.iter (check_stmt env) body
+  | Ast.For (var, lo, hi, body) ->
+    if Hashtbl.mem env.vars var then fail loc "redeclaration of variable %s" var;
+    if Hashtbl.mem env.bufs var then fail loc "%s is already a buffer parameter" var;
+    let lty = infer env lo in
+    let hty = infer env hi in
+    if lty <> Ast.Tint || hty <> Ast.Tint then fail loc "for bounds must be int";
+    Hashtbl.replace env.vars var { v_ty = Ast.Tint; v_mutable = false };
+    List.iter (check_stmt env) body;
+    (* The loop variable stays in scope after the loop (flat namespace)
+       but becomes inert: still immutable, still declared. *)
+    ()
+
+let check_kernel ~buffers (kernel : Ast.kernel) =
+  ignore buffers;
+  try
+    let env = { vars = Hashtbl.create 16; bufs = Hashtbl.create 16 } in
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun param ->
+        let name =
+          match param with Ast.Pscalar (n, _) | Ast.Pbuffer (n, _, _) -> n
+        in
+        if Hashtbl.mem seen name then
+          fail kernel.Ast.kloc "duplicate parameter %s in kernel %s" name kernel.Ast.kname;
+        Hashtbl.replace seen name ();
+        match param with
+        | Ast.Pscalar (n, ty) -> Hashtbl.replace env.vars n { v_ty = ty; v_mutable = true }
+        | Ast.Pbuffer (n, ty, mode) ->
+          Hashtbl.replace env.bufs n { b_ty = ty; b_mode = mode })
+      kernel.Ast.kparams;
+    List.iter (check_stmt env) kernel.Ast.kbody;
+    Ok ()
+  with Type_error e -> Error e
+
+(* --- schedule --------------------------------------------------------- *)
+
+(* Schedule scalar arguments may only mention literals and loop
+   variables; buffer arguments must be bare buffer names. *)
+let rec check_sched_expr ~loop_vars ~buffers (expr : Ast.expr) : Ast.ty =
+  let loc = expr.Ast.eloc in
+  match expr.Ast.e with
+  | Ast.Int_lit _ -> Ast.Tint
+  | Ast.Float_lit _ -> Ast.Tfloat
+  | Ast.Var x ->
+    if List.mem x loop_vars then Ast.Tint
+    else if List.mem_assoc x buffers then
+      fail loc "buffer %s cannot appear inside a scalar schedule expression" x
+    else fail loc "unknown schedule variable %s" x
+  | Ast.Unary (Ast.Neg, a) -> check_sched_expr ~loop_vars ~buffers a
+  | Ast.Unary ((Ast.LogNot | Ast.BitNot), _) ->
+    fail loc "only arithmetic is allowed in schedule expressions"
+  | Ast.Binary ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod), a, b) ->
+    let aty = check_sched_expr ~loop_vars ~buffers a in
+    let bty = check_sched_expr ~loop_vars ~buffers b in
+    if aty <> bty then fail loc "mixed int/float schedule expression";
+    aty
+  | Ast.Binary (_, _, _) ->
+    fail loc "only + - * / %% are allowed in schedule expressions"
+  | Ast.Index _ | Ast.Call _ ->
+    fail loc "buffer accesses and calls are not allowed in schedule expressions"
+
+let rec check_sched_item ~loop_vars ~buffers ~kernels item =
+  match item with
+  | Ast.Sfor { sf_var; sf_lo; sf_hi; sf_body; sf_loc } ->
+    if List.mem sf_var loop_vars then fail sf_loc "shadowed schedule loop variable %s" sf_var;
+    let lty = check_sched_expr ~loop_vars ~buffers sf_lo in
+    let hty = check_sched_expr ~loop_vars ~buffers sf_hi in
+    if lty <> Ast.Tint || hty <> Ast.Tint then fail sf_loc "schedule loop bounds must be int";
+    List.iter
+      (check_sched_item ~loop_vars:(sf_var :: loop_vars) ~buffers ~kernels)
+      sf_body
+  | Ast.Scall { sc_kernel; sc_args; sc_loc } -> (
+    match List.find_opt (fun k -> String.equal k.Ast.kname sc_kernel) kernels with
+    | None -> fail sc_loc "call to unknown kernel %s" sc_kernel
+    | Some kernel ->
+      if List.length sc_args <> List.length kernel.Ast.kparams then
+        fail sc_loc "call to %s has %d arguments, expected %d" sc_kernel
+          (List.length sc_args)
+          (List.length kernel.Ast.kparams);
+      List.iter
+        (fun (param, arg) ->
+          match param with
+          | Ast.Pbuffer (pname, pty, _) -> (
+            match arg.Ast.e with
+            | Ast.Var bname -> (
+              match List.assoc_opt bname buffers with
+              | Some bty when bty = pty -> ()
+              | Some _ ->
+                fail arg.Ast.eloc "buffer %s has the wrong element type for parameter %s"
+                  bname pname
+              | None -> fail arg.Ast.eloc "unknown buffer %s" bname)
+            | _ -> fail arg.Ast.eloc "argument for buffer parameter %s must be a buffer name" pname)
+          | Ast.Pscalar (pname, pty) ->
+            let aty = check_sched_expr ~loop_vars ~buffers arg in
+            if aty <> pty then
+              fail arg.Ast.eloc "scalar argument for %s has type %s, expected %s" pname
+                (ty_name aty) (ty_name pty))
+        (List.combine kernel.Ast.kparams sc_args))
+
+let check_buffer (decl : Ast.buffer_decl) =
+  if decl.Ast.bsize <= 0 then fail decl.Ast.bloc "buffer %s has non-positive size" decl.Ast.bname;
+  match decl.Ast.binit with
+  | Ast.Zeros -> ()
+  | Ast.Values vs ->
+    if List.length vs <> decl.Ast.bsize then
+      fail decl.Ast.bloc "buffer %s initializer has %d elements, expected %d" decl.Ast.bname
+        (List.length vs) decl.Ast.bsize;
+    List.iter
+      (fun v ->
+        match (v, decl.Ast.bty) with
+        | Ast.Ilit _, Ast.Tint | Ast.Flit _, Ast.Tfloat -> ()
+        | Ast.Ilit _, Ast.Tfloat ->
+          fail decl.Ast.bloc "integer literal in float buffer %s (write 1.0, not 1)"
+            decl.Ast.bname
+        | Ast.Flit _, Ast.Tint ->
+          fail decl.Ast.bloc "float literal in int buffer %s" decl.Ast.bname)
+      vs
+
+let check (program : Ast.program) =
+  try
+    let seen_buffers = Hashtbl.create 16 in
+    List.iter
+      (fun (b : Ast.buffer_decl) ->
+        if Hashtbl.mem seen_buffers b.Ast.bname then
+          fail b.Ast.bloc "duplicate buffer %s" b.Ast.bname;
+        Hashtbl.replace seen_buffers b.Ast.bname ();
+        check_buffer b)
+      program.Ast.buffers;
+    let seen_kernels = Hashtbl.create 16 in
+    List.iter
+      (fun (k : Ast.kernel) ->
+        if Hashtbl.mem seen_kernels k.Ast.kname then
+          fail k.Ast.kloc "duplicate kernel %s" k.Ast.kname;
+        Hashtbl.replace seen_kernels k.Ast.kname ())
+      program.Ast.kernels;
+    let buffers =
+      List.map (fun (b : Ast.buffer_decl) -> (b.Ast.bname, b.Ast.bty)) program.Ast.buffers
+    in
+    List.iter
+      (fun k ->
+        match check_kernel ~buffers k with Ok () -> () | Error e -> raise (Type_error e))
+      program.Ast.kernels;
+    List.iter
+      (check_sched_item ~loop_vars:[] ~buffers ~kernels:program.Ast.kernels)
+      program.Ast.schedule;
+    Ok ()
+  with Type_error e -> Error e

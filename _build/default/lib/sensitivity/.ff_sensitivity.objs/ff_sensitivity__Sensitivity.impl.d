@@ -1,0 +1,1 @@
+lib/sensitivity/sensitivity.ml: Array Ff_ir Ff_support Ff_vm Float Format Golden Int64 Kernel List Machine Value

@@ -1,0 +1,1 @@
+lib/sensitivity/sensitivity.mli: Ff_support Ff_vm Format

@@ -1,0 +1,148 @@
+open Ff_ir
+open Ff_vm
+module Rng = Ff_support.Rng
+module Hashing = Ff_support.Hashing
+
+type t = {
+  section_index : int;
+  input_buffers : int array;
+  output_buffers : int array;
+  k : float array array;
+  samples_used : int;
+  work : int;
+}
+
+let readable_buffers (section : Golden.section_run) =
+  Array.to_list section.Golden.bindings
+  |> List.filter_map (fun (idx, role) ->
+         if Kernel.role_readable role then Some idx else None)
+  |> List.sort_uniq compare
+
+let writable_buffers (section : Golden.section_run) =
+  Array.to_list section.Golden.bindings
+  |> List.filter_map (fun (idx, role) ->
+         if Kernel.role_writable role then Some idx else None)
+  |> List.sort_uniq compare
+
+let buffer_distance golden actual =
+  let worst = ref 0.0 in
+  for i = 0 to Array.length golden - 1 do
+    let d = Value.abs_diff golden.(i) actual.(i) in
+    if d > !worst then worst := d
+  done;
+  !worst
+
+(* Perturb one element in place; returns |δ| actually applied (> 0). *)
+let perturb_element rng max_perturbation arr i =
+  match arr.(i) with
+  | Value.Float x ->
+    let delta = ref (Rng.float_signed rng max_perturbation) in
+    if !delta = 0.0 then delta := max_perturbation;
+    arr.(i) <- Value.Float (x +. !delta);
+    Float.abs !delta
+  | Value.Int x ->
+    let m = Int64.of_float (Float.max 1.0 (Float.round max_perturbation)) in
+    let range = Int64.to_int m in
+    let delta = ref (Rng.int rng (2 * range + 1) - range) in
+    if !delta = 0 then delta := 1;
+    arr.(i) <- Value.Int (Int64.add x (Int64.of_int !delta));
+    Float.abs (float_of_int !delta)
+
+let estimate ?(samples = 200) ?(max_perturbation = 0.01) ?(safety_factor = 1.25) ~rng
+    golden ~section_index =
+  let section = golden.Golden.sections.(section_index) in
+  let inputs = Array.of_list (readable_buffers section) in
+  let outputs = Array.of_list (writable_buffers section) in
+  let golden_exit = Golden.exit_state golden section_index in
+  let k = Array.make_matrix (Array.length outputs) (Array.length inputs) 0.0 in
+  let work = ref 0 in
+  let budget =
+    max 16 (int_of_float (ceil (5.0 *. float_of_int section.Golden.dyn_count)))
+  in
+  Array.iteri
+    (fun i_idx input_buf ->
+      for _ = 1 to samples do
+        let state = Array.map Array.copy section.Golden.entry_state in
+        let target = state.(input_buf) in
+        let n = Array.length target in
+        (* Single element, a random subset, or all elements (§5.6). *)
+        let mode = Rng.int rng 3 in
+        (match mode with
+        | 0 -> ignore (perturb_element rng max_perturbation target (Rng.int rng n))
+        | 1 ->
+          let count = 1 + Rng.int rng (max 1 (n / 2)) in
+          for _ = 1 to count do
+            ignore (perturb_element rng max_perturbation target (Rng.int rng n))
+          done
+        | _ ->
+          for e = 0 to n - 1 do
+            ignore (perturb_element rng max_perturbation target e)
+          done);
+        (* |Δi| is the realized perturbation (an element hit twice
+           accumulates), not the largest single nudge. *)
+        let delta = ref (buffer_distance section.Golden.entry_state.(input_buf) target) in
+        let buffers = Array.map (fun (idx, _) -> state.(idx)) section.Golden.bindings in
+        let run =
+          Machine.exec section.Golden.kernel ~scalars:section.Golden.scalars ~buffers
+            ~budget ()
+        in
+        work := !work + run.Machine.executed;
+        (match run.Machine.status with
+        | Machine.Finished ->
+          Array.iteri
+            (fun o_idx output_buf ->
+              (* For an inout buffer perturbed directly, measure against the
+                 perturbed-input baseline only through the golden exit: the
+                 ratio |s(x+δ) - s(x)| / |δ| of Equation 1. *)
+              let d_out = buffer_distance golden_exit.(output_buf) state.(output_buf) in
+              let ratio = d_out /. !delta in
+              if Float.is_nan ratio then ()
+              else if ratio > k.(o_idx).(i_idx) then k.(o_idx).(i_idx) <- ratio)
+            outputs
+        | Machine.Trapped _ | Machine.Out_of_budget ->
+          (* A tiny input perturbation changed the section's fate: no
+             finite amplification bound holds. *)
+          Array.iteri (fun o_idx _ -> k.(o_idx).(i_idx) <- infinity) outputs)
+      done)
+    inputs;
+  Array.iter
+    (fun row ->
+      Array.iteri (fun i v -> if Float.is_finite v then row.(i) <- v *. safety_factor) row)
+    k;
+  {
+    section_index;
+    input_buffers = inputs;
+    output_buffers = outputs;
+    k;
+    samples_used = samples;
+    work = !work;
+  }
+
+let index_of arr v =
+  let n = Array.length arr in
+  let rec go i = if i >= n then None else if arr.(i) = v then Some i else go (i + 1) in
+  go 0
+
+let amplification t ~output ~input =
+  match (index_of t.output_buffers output, index_of t.input_buffers input) with
+  | Some o, Some i -> t.k.(o).(i)
+  | None, _ | _, None -> 0.0
+
+let spec_hash t =
+  let h = Hashing.create () in
+  Hashing.add_int h t.section_index;
+  Array.iter (Hashing.add_int h) t.input_buffers;
+  Array.iter (Hashing.add_int h) t.output_buffers;
+  Array.iter (fun row -> Array.iter (Hashing.add_float h) row) t.k;
+  Hashing.value h
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>sensitivity of section %d:@," t.section_index;
+  Array.iteri
+    (fun o_idx o ->
+      Array.iteri
+        (fun i_idx i ->
+          Format.fprintf fmt "  K(out b%d <- in b%d) = %g@," o i t.k.(o_idx).(i_idx))
+        t.input_buffers)
+    t.output_buffers;
+  Format.fprintf fmt "@]"

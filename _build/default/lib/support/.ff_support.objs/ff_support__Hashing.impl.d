@@ -1,0 +1,1 @@
+lib/support/hashing.ml: Char Int64 String

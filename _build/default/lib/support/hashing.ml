@@ -1,0 +1,34 @@
+type t = { mutable acc : int64 }
+
+let offset_basis = 0xCBF29CE484222325L
+let prime = 0x100000001B3L
+
+let create () = { acc = offset_basis }
+
+let add_byte t b =
+  t.acc <- Int64.mul (Int64.logxor t.acc (Int64.of_int (b land 0xFF))) prime
+
+let add_int64 t v =
+  for i = 0 to 7 do
+    add_byte t (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done
+
+let add_int t v = add_int64 t (Int64.of_int v)
+let add_float t v = add_int64 t (Int64.bits_of_float v)
+
+let add_string t s =
+  add_int t (String.length s);
+  String.iter (fun c -> add_byte t (Char.code c)) s
+
+let value t = t.acc
+
+let of_string s =
+  let t = create () in
+  add_string t s;
+  value t
+
+let combine a b =
+  let t = create () in
+  add_int64 t a;
+  add_int64 t b;
+  value t

@@ -1,0 +1,32 @@
+(** Structural content hashing (64-bit FNV-1a).
+
+    Section reuse in the incremental analysis is keyed on hashes of
+    compiled section code and of golden input values; this module provides
+    the streaming hasher both are built from. *)
+
+type t
+(** Mutable hash accumulator. *)
+
+val create : unit -> t
+(** Fresh accumulator at the FNV-1a offset basis. *)
+
+val add_int64 : t -> int64 -> unit
+(** Feed the 8 bytes of an int64, little-endian. *)
+
+val add_int : t -> int -> unit
+(** Feed an OCaml int (as int64). *)
+
+val add_float : t -> float -> unit
+(** Feed the IEEE-754 bits of a double. *)
+
+val add_string : t -> string -> unit
+(** Feed the bytes of a string, preceded by its length. *)
+
+val value : t -> int64
+(** Current digest. *)
+
+val of_string : string -> int64
+(** One-shot string hash. *)
+
+val combine : int64 -> int64 -> int64
+(** Order-dependent combination of two digests. *)

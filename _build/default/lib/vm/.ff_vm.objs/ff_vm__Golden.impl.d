@@ -1,0 +1,1 @@
+lib/vm/golden.ml: Array Ff_ir Ff_support Format Kernel List Machine Option Printf Program Trace Value

@@ -1,0 +1,1 @@
+lib/vm/golden.mli: Ff_ir

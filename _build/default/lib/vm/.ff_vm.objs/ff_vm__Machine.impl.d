@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Ff_ir Float Format Instr Int64 Kernel List Trace Value

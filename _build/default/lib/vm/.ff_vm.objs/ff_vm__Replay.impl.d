@@ -1,0 +1,1 @@
+lib/vm/replay.ml: Array Ff_ir Golden Kernel List Machine Program Value

@@ -1,0 +1,1 @@
+lib/vm/replay.mli: Golden Machine

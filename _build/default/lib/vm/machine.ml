@@ -1,0 +1,236 @@
+open Ff_ir
+
+type trap =
+  | Out_of_bounds
+  | Div_by_zero
+  | Invalid_conversion
+  | Type_confusion
+
+type status =
+  | Finished
+  | Trapped of trap
+  | Out_of_budget
+
+type run = {
+  status : status;
+  executed : int;
+}
+
+type operand =
+  | Osrc of int
+  | Odst
+
+type injection = {
+  at_dyn : int;
+  operand : operand;
+  bit : int;
+}
+
+exception Trap of trap
+
+let trap t = raise (Trap t)
+
+let as_int = function Value.Int w -> w | Value.Float _ -> trap Type_confusion
+let as_float = function Value.Float x -> x | Value.Int _ -> trap Type_confusion
+
+let int64_max_float = 9.223372036854775808e18
+
+let eval_ibin op a b =
+  let open Int64 in
+  match op with
+  | Instr.Iadd -> add a b
+  | Instr.Isub -> sub a b
+  | Instr.Imul -> mul a b
+  | Instr.Idiv -> if equal b 0L then trap Div_by_zero else div a b
+  | Instr.Irem -> if equal b 0L then trap Div_by_zero else rem a b
+  | Instr.Iand -> logand a b
+  | Instr.Ior -> logor a b
+  | Instr.Ixor -> logxor a b
+  | Instr.Ishl -> shift_left a (to_int b land 63)
+  | Instr.Ilshr -> shift_right_logical a (to_int b land 63)
+  | Instr.Iashr -> shift_right a (to_int b land 63)
+  | Instr.Irotl ->
+    let s = to_int b land 63 in
+    if s = 0 then a else logor (shift_left a s) (shift_right_logical a (64 - s))
+  | Instr.Irotr ->
+    let s = to_int b land 63 in
+    if s = 0 then a else logor (shift_right_logical a s) (shift_left a (64 - s))
+  | Instr.Imin -> if compare a b <= 0 then a else b
+  | Instr.Imax -> if compare a b >= 0 then a else b
+
+let eval_fbin op a b =
+  match op with
+  | Instr.Fadd -> a +. b
+  | Instr.Fsub -> a -. b
+  | Instr.Fmul -> a *. b
+  | Instr.Fdiv -> a /. b
+  | Instr.Fmin -> Float.min a b
+  | Instr.Fmax -> Float.max a b
+  | Instr.Fpow -> Float.pow a b
+
+let eval_funop op a =
+  match op with
+  | Instr.FFneg -> -.a
+  | Instr.FFabs -> Float.abs a
+  | Instr.FFsqrt -> sqrt a
+  | Instr.FFexp -> exp a
+  | Instr.FFlog -> log a
+  | Instr.FFsin -> sin a
+  | Instr.FFcos -> cos a
+  | Instr.FFfloor -> Float.floor a
+  | Instr.FFceil -> Float.ceil a
+
+let eval_icmp c a b =
+  let r = Int64.compare a b in
+  match c with
+  | Instr.Ceq -> r = 0
+  | Instr.Cne -> r <> 0
+  | Instr.Clt -> r < 0
+  | Instr.Cle -> r <= 0
+  | Instr.Cgt -> r > 0
+  | Instr.Cge -> r >= 0
+
+let eval_fcmp c a b =
+  (* IEEE semantics: all ordered comparisons with NaN are false except <>. *)
+  match c with
+  | Instr.Ceq -> a = b
+  | Instr.Cne -> a <> b
+  | Instr.Clt -> a < b
+  | Instr.Cle -> a <= b
+  | Instr.Cgt -> a > b
+  | Instr.Cge -> a >= b
+
+let burst_bits ~bit ~burst = List.init (max 1 burst) (fun i -> (bit + i) mod 64)
+
+let exec (kernel : Kernel.t) ~scalars ~buffers ~budget ?injection ?(burst = 1) ?trace () =
+  let nbufs = List.length (Kernel.buffer_params kernel) in
+  if Array.length buffers <> nbufs then
+    invalid_arg "Machine.exec: buffer arity mismatch";
+  let scalar_tys = List.map snd (Kernel.scalar_params kernel) in
+  if List.length scalars <> List.length scalar_tys then
+    invalid_arg "Machine.exec: scalar arity mismatch";
+  List.iter2
+    (fun v ty ->
+      if not (Value.ty_equal (Value.ty v) ty) then
+        invalid_arg "Machine.exec: scalar type mismatch")
+    scalars scalar_tys;
+  let regs = Array.make kernel.Kernel.nregs (Value.Int 0L) in
+  List.iteri (fun i v -> regs.(i) <- v) scalars;
+  let code = kernel.Kernel.code in
+  let executed = ref 0 in
+  let inj_dyn, inj_operand, inj_bit =
+    match injection with
+    | Some { at_dyn; operand; bit } -> (at_dyn, operand, bit)
+    | None -> (-1, Odst, 0)
+  in
+  let record =
+    match trace with
+    | Some t -> fun pc -> Trace.add t pc
+    | None -> fun _ -> ()
+  in
+  let load_slot slot idx =
+    let store = buffers.(slot) in
+    let i = Int64.to_int idx in
+    if idx < 0L || idx >= Int64.of_int (Array.length store) then trap Out_of_bounds
+    else store.(i)
+  in
+  let store_slot slot idx v =
+    let store = buffers.(slot) in
+    let i = Int64.to_int idx in
+    if idx < 0L || idx >= Int64.of_int (Array.length store) then trap Out_of_bounds
+    else store.(i) <- v
+  in
+  let flip_bits = burst_bits ~bit:inj_bit ~burst in
+  let flip_reg r = List.iter (fun b -> regs.(r) <- Value.flip_bit regs.(r) b) flip_bits in
+  let flip_src instr k =
+    match List.nth_opt (Instr.srcs instr) k with
+    | Some r -> flip_reg r
+    | None -> ()
+  in
+  let flip_dst instr =
+    match Instr.dst instr with
+    | Some d -> flip_reg d
+    | None -> ()
+  in
+  let result =
+    try
+      let pc = ref 0 in
+      let continue = ref true in
+      let status = ref Finished in
+      while !continue do
+        if !executed >= budget then begin
+          status := Out_of_budget;
+          continue := false
+        end
+        else begin
+          let instr = code.(!pc) in
+          record !pc;
+          let dyn = !executed in
+          executed := dyn + 1;
+          let injecting = dyn = inj_dyn in
+          if injecting then begin
+            match inj_operand with
+            | Osrc k -> flip_src instr k
+            | Odst -> ()
+          end;
+          let next = ref (!pc + 1) in
+          (match instr with
+          | Instr.Mov (d, s) -> regs.(d) <- regs.(s)
+          | Instr.Iconst (d, v) -> regs.(d) <- Value.Int v
+          | Instr.Fconst (d, v) -> regs.(d) <- Value.Float v
+          | Instr.Ibin (op, d, a, b) ->
+            regs.(d) <- Value.Int (eval_ibin op (as_int regs.(a)) (as_int regs.(b)))
+          | Instr.Fbin (op, d, a, b) ->
+            regs.(d) <- Value.Float (eval_fbin op (as_float regs.(a)) (as_float regs.(b)))
+          | Instr.Iun (op, d, a) ->
+            let x = as_int regs.(a) in
+            let v = match op with Instr.Ineg -> Int64.neg x | Instr.Inot -> Int64.lognot x in
+            regs.(d) <- Value.Int v
+          | Instr.Fun1 (op, d, a) -> regs.(d) <- Value.Float (eval_funop op (as_float regs.(a)))
+          | Instr.Icmp (c, d, a, b) ->
+            let v = if eval_icmp c (as_int regs.(a)) (as_int regs.(b)) then 1L else 0L in
+            regs.(d) <- Value.Int v
+          | Instr.Fcmp (c, d, a, b) ->
+            let v = if eval_fcmp c (as_float regs.(a)) (as_float regs.(b)) then 1L else 0L in
+            regs.(d) <- Value.Int v
+          | Instr.Cast (c, d, a) ->
+            let v =
+              match c with
+              | Instr.Itof -> Value.Float (Int64.to_float (as_int regs.(a)))
+              | Instr.Ftoi ->
+                let x = as_float regs.(a) in
+                if Float.is_nan x || x >= int64_max_float || x < -.int64_max_float then
+                  trap Invalid_conversion
+                else Value.Int (Int64.of_float x)
+              | Instr.Fbits -> Value.Int (Int64.bits_of_float (as_float regs.(a)))
+              | Instr.Bitsf -> Value.Float (Int64.float_of_bits (as_int regs.(a)))
+            in
+            regs.(d) <- v
+          | Instr.Select (d, c, a, b) ->
+            regs.(d) <- (if as_int regs.(c) <> 0L then regs.(a) else regs.(b))
+          | Instr.Load (d, slot, i) -> regs.(d) <- load_slot slot (as_int regs.(i))
+          | Instr.Store (slot, i, v) -> store_slot slot (as_int regs.(i)) regs.(v)
+          | Instr.Jmp l -> next := l
+          | Instr.Br (c, l1, l2) -> next := (if as_int regs.(c) <> 0L then l1 else l2)
+          | Instr.Halt -> continue := false);
+          if injecting && inj_operand = Odst then flip_dst instr;
+          pc := !next
+        end
+      done;
+      !status
+    with Trap t -> Trapped t
+  in
+  { status = result; executed = !executed }
+
+let pp_trap fmt t =
+  Format.pp_print_string fmt
+    (match t with
+    | Out_of_bounds -> "out-of-bounds"
+    | Div_by_zero -> "div-by-zero"
+    | Invalid_conversion -> "invalid-conversion"
+    | Type_confusion -> "type-confusion")
+
+let pp_status fmt = function
+  | Finished -> Format.pp_print_string fmt "finished"
+  | Trapped t -> Format.fprintf fmt "trapped(%a)" pp_trap t
+  | Out_of_budget -> Format.pp_print_string fmt "timeout"

@@ -1,0 +1,68 @@
+(** The MiniVM interpreter for a single kernel call (one program section).
+
+    The interpreter executes a validated kernel over mutable buffer
+    storage, optionally flipping one bit of one register operand of one
+    dynamic instruction — the single-event-upset error model of the paper.
+    Faulty executions may take control paths the typechecker never saw, so
+    the interpreter turns every anomaly (bounds violations, division by
+    zero, invalid conversions, type confusion from wrongly-routed control
+    flow) into a {!trap} instead of an OCaml exception. *)
+
+type trap =
+  | Out_of_bounds       (** buffer access outside [0, size) *)
+  | Div_by_zero
+  | Invalid_conversion  (** float-to-int of NaN or out-of-range value *)
+  | Type_confusion      (** an operand had the wrong dynamic type; only
+                            reachable when an injection corrupts control
+                            flow into code whose registers were never
+                            initialized on this path *)
+
+type status =
+  | Finished
+  | Trapped of trap
+  | Out_of_budget  (** instruction budget exhausted: the timeout outcome *)
+
+type run = {
+  status : status;
+  executed : int;  (** dynamic instructions executed *)
+}
+
+type operand =
+  | Osrc of int  (** i-th source register of the instruction, flipped
+                     just before the instruction reads it; the corruption
+                     persists in the register *)
+  | Odst         (** destination register, flipped just after the write *)
+
+type injection = {
+  at_dyn : int;   (** dynamic instruction index within this section run *)
+  operand : operand;
+  bit : int;      (** 0..63 *)
+}
+
+val burst_bits : bit:int -> burst:int -> int list
+(** The bits a burst of width [burst] starting at [bit] flips:
+    [bit, bit+1, ...] wrapping modulo 64. Width 1 is the paper's
+    single-event-upset model; larger widths model multi-bit upsets
+    (§4.8 supports them within a single section). *)
+
+val exec :
+  Ff_ir.Kernel.t ->
+  scalars:Ff_ir.Value.t list ->
+  buffers:Ff_ir.Value.t array array ->
+  budget:int ->
+  ?injection:injection ->
+  ?burst:int ->
+  ?trace:Trace.t ->
+  unit ->
+  run
+(** [exec kernel ~scalars ~buffers ~budget ()] runs the kernel to
+    completion, trap, or budget exhaustion. [buffers.(slot)] is the storage
+    bound to the kernel's slot-th buffer parameter and is mutated in place.
+    [scalars] are preloaded into registers 0.. in declaration order.
+    If [trace] is given, every executed static instruction index is
+    appended to it. Raises [Invalid_argument] if the scalar count does not
+    match the kernel signature or the buffer array has the wrong arity. *)
+
+val pp_trap : Format.formatter -> trap -> unit
+
+val pp_status : Format.formatter -> status -> unit

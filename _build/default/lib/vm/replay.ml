@@ -1,0 +1,166 @@
+open Ff_ir
+
+type anomaly =
+  | Trap of Machine.trap
+  | Timeout
+
+type section_replay = {
+  s_anomaly : anomaly option;
+  s_output_sdc : (int * float) array;
+  s_side_effect : bool;
+  s_nonfinite : bool;
+  s_executed : int;
+}
+
+type program_replay = {
+  p_anomaly : anomaly option;
+  p_final_sdc : (int * float) list;
+  p_nonfinite : bool;
+  p_executed : int;
+}
+
+let budget_of ~timeout_factor dyn_count =
+  max 16 (int_of_float (ceil (timeout_factor *. float_of_int dyn_count)))
+
+let buffer_distance golden actual =
+  let worst = ref 0.0 in
+  let n = Array.length golden in
+  for i = 0 to n - 1 do
+    let d = Value.abs_diff golden.(i) actual.(i) in
+    if d > !worst then worst := d
+  done;
+  !worst
+
+let has_nonfinite arr = Array.exists (fun v -> not (Value.is_finite v)) arr
+
+let status_anomaly = function
+  | Machine.Finished -> None
+  | Machine.Trapped t -> Some (Trap t)
+  | Machine.Out_of_budget -> Some Timeout
+
+let run_section ?(burst = 1) golden (section : Golden.section_run) injection ~timeout_factor =
+  let state = Array.map Array.copy section.Golden.entry_state in
+  let buffers = Array.map (fun (idx, _) -> state.(idx)) section.Golden.bindings in
+  let budget = budget_of ~timeout_factor section.Golden.dyn_count in
+  let run =
+    Machine.exec section.Golden.kernel ~scalars:section.Golden.scalars ~buffers ~budget
+      ~injection ~burst ()
+  in
+  match status_anomaly run.Machine.status with
+  | Some a ->
+    {
+      s_anomaly = Some a;
+      s_output_sdc = [||];
+      s_side_effect = false;
+      s_nonfinite = false;
+      s_executed = run.Machine.executed;
+    }
+  | None ->
+    let golden_exit = Golden.exit_state golden section.Golden.section_index in
+    let writable_buf_indices =
+      Array.to_list section.Golden.bindings
+      |> List.filter_map (fun (idx, role) ->
+             if Kernel.role_writable role then Some idx else None)
+      |> List.sort_uniq compare
+    in
+    let output_sdc =
+      List.map (fun idx -> (idx, buffer_distance golden_exit.(idx) state.(idx)))
+        writable_buf_indices
+      |> Array.of_list
+    in
+    let side_effect =
+      (* any buffer outside the writable set that differs from golden exit *)
+      let nbufs = Array.length state in
+      let rec scan i =
+        if i >= nbufs then false
+        else if List.mem i writable_buf_indices then scan (i + 1)
+        else if buffer_distance golden_exit.(i) state.(i) > 0.0 then true
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    let nonfinite =
+      List.exists (fun idx -> has_nonfinite state.(idx)) writable_buf_indices
+    in
+    {
+      s_anomaly = None;
+      s_output_sdc = output_sdc;
+      s_side_effect = side_effect;
+      s_nonfinite = nonfinite;
+      s_executed = run.Machine.executed;
+    }
+
+let states_equal a b =
+  let n = Array.length a in
+  let rec buffers_equal i =
+    if i >= n then true
+    else begin
+      let ba = a.(i) and bb = b.(i) in
+      let m = Array.length ba in
+      let rec elems_equal j =
+        if j >= m then true
+        else if Value.equal ba.(j) bb.(j) then elems_equal (j + 1)
+        else false
+      in
+      if elems_equal 0 then buffers_equal (i + 1) else false
+    end
+  in
+  buffers_equal 0
+
+let run_to_end ?(burst = 1) golden ~from_section injection ~timeout_factor =
+  let sections = golden.Golden.sections in
+  if from_section < 0 || from_section >= Array.length sections then
+    invalid_arg "Replay.run_to_end: section index out of range";
+  let state = Array.map Array.copy sections.(from_section).Golden.entry_state in
+  let executed = ref 0 in
+  let anomaly = ref None in
+  let i = ref from_section in
+  let converged = ref false in
+  while (not !converged) && !anomaly = None && !i < Array.length sections do
+    let section = sections.(!i) in
+    let buffers = Array.map (fun (idx, _) -> state.(idx)) section.Golden.bindings in
+    let budget = budget_of ~timeout_factor section.Golden.dyn_count in
+    let inj = if !i = from_section then Some injection else None in
+    let run =
+      Machine.exec section.Golden.kernel ~scalars:section.Golden.scalars ~buffers ~budget
+        ?injection:inj ~burst ()
+    in
+    executed := !executed + run.Machine.executed;
+    anomaly := status_anomaly run.Machine.status;
+    (* Approxilyzer-style early equivalence detection: once the faulty
+       state coincides with the golden state at a section boundary, the
+       deterministic remainder must produce the golden outputs — stop
+       simulating (the error is masked from here on). Registers do not
+       carry across sections, so comparing buffers is complete. *)
+    if !anomaly = None && states_equal state (Golden.exit_state golden !i) then
+      converged := true;
+    incr i
+  done;
+  if !converged then
+    {
+      p_anomaly = None;
+      p_final_sdc =
+        Program.output_buffers golden.Golden.program |> List.map (fun (idx, _) -> (idx, 0.0));
+      p_nonfinite = false;
+      p_executed = !executed;
+    }
+  else
+  match !anomaly with
+  | Some a ->
+    { p_anomaly = Some a; p_final_sdc = []; p_nonfinite = false; p_executed = !executed }
+  | None ->
+    let final_sdc =
+      Program.output_buffers golden.Golden.program
+      |> List.map (fun (idx, _) ->
+             (idx, buffer_distance golden.Golden.final_state.(idx) state.(idx)))
+    in
+    let nonfinite =
+      Program.output_buffers golden.Golden.program
+      |> List.exists (fun (idx, _) -> has_nonfinite state.(idx))
+    in
+    {
+      p_anomaly = None;
+      p_final_sdc = final_sdc;
+      p_nonfinite = nonfinite;
+      p_executed = !executed;
+    }

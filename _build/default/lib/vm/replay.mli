@@ -1,0 +1,58 @@
+(** Injected re-executions against a golden run.
+
+    Two replay modes mirror the two analyses of the paper:
+    {ul
+    {- {!run_section}: FastFlip's per-section injection — execute only the
+       injected section from its golden entry state and compare its outputs
+       against the golden exit state (the per-section outcome O_s(j)).}
+    {- {!run_to_end}: the monolithic Approxilyzer-style baseline — execute
+       from the injected section's entry state through the rest of the
+       schedule and compare the final program outputs.}}
+
+    Both modes charge their work (dynamic instructions executed) to the
+    caller, which is how analysis "core-hours" are accounted. *)
+
+type anomaly =
+  | Trap of Machine.trap
+  | Timeout
+
+type section_replay = {
+  s_anomaly : anomaly option;
+  s_output_sdc : (int * float) array;
+  (** per writable buffer slot of the section: (slot, max |Δ| vs the
+      golden exit state); meaningless when [s_anomaly] is set *)
+  s_side_effect : bool;
+  (** a buffer outside the section's writable slots changed — checked for
+      conformance with paper §4.9; structurally impossible in MiniVM *)
+  s_nonfinite : bool;
+  (** a non-finite float appeared in a writable slot: a detectable,
+      misformatted output *)
+  s_executed : int;
+}
+
+val run_section :
+  ?burst:int ->
+  Golden.t -> Golden.section_run -> Machine.injection -> timeout_factor:float ->
+  section_replay
+(** Replay one section in isolation with an injected bitflip. The section
+    budget is [timeout_factor] × its golden dynamic instruction count
+    (the paper uses 5×). *)
+
+type program_replay = {
+  p_anomaly : anomaly option;
+  p_final_sdc : (int * float) list;
+  (** per final output buffer index: max |Δ| vs the golden final state *)
+  p_nonfinite : bool;
+  p_executed : int;
+}
+
+val run_to_end :
+  ?burst:int ->
+  Golden.t -> from_section:int -> Machine.injection -> timeout_factor:float ->
+  program_replay
+(** Replay the program from the entry of section [from_section] (injecting
+    there) through the end of the schedule. Each section gets
+    [timeout_factor] × its own golden budget. Mirrors Approxilyzer's
+    early equivalence detection: if at any section boundary the faulty
+    buffer state equals the golden state, the error is masked and the
+    simulation stops there (charging only the work done so far). *)

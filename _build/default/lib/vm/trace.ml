@@ -1,0 +1,31 @@
+type t = {
+  mutable data : int array;
+  mutable len : int;
+}
+
+let create () = { data = Array.make 256 0; len = 0 }
+
+let add t x =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * t.len) 0 in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get: index out of range";
+  t.data.(i)
+
+let to_array t = Array.sub t.data 0 t.len
+
+let pc_counts t ~ninstrs =
+  let counts = Array.make ninstrs 0 in
+  for i = 0 to t.len - 1 do
+    let pc = t.data.(i) in
+    if pc >= 0 && pc < ninstrs then counts.(pc) <- counts.(pc) + 1
+  done;
+  counts

@@ -1,0 +1,23 @@
+(** Growable record of the dynamic instruction stream of one section run.
+
+    Entry [i] is the static instruction index executed as the i-th dynamic
+    instruction; error sites are addressed as (dynamic index, operand, bit)
+    against this trace. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+
+val length : t -> int
+
+val get : t -> int -> int
+(** Raises [Invalid_argument] when out of range. *)
+
+val to_array : t -> int array
+
+val pc_counts : t -> ninstrs:int -> int array
+(** [pc_counts t ~ninstrs] is, for each static instruction index below
+    [ninstrs], the number of its dynamic instances in the trace — the raw
+    material of the protection cost c(pc). *)

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Defs Ff_benchmarks Ff_ir Ff_lang Ff_vm Float Gen Int64 List Option Printf Registry Result

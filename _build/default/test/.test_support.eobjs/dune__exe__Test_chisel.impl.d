@@ -1,0 +1,1 @@
+test/test_chisel.ml: Affine Alcotest Array Dataflow Ff_chisel Ff_lang Ff_sensitivity Ff_support Ff_vm Float List Propagate QCheck2 QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_core.ml: Adjust Alcotest Array Baseline Compare Fastflip Ff_inject Ff_lang Ff_vm Knapsack Lazy List Pipeline QCheck2 QCheck_alcotest Random Result Store Valuation

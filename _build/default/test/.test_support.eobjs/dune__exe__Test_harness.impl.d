@@ -1,0 +1,1 @@
+test/test_harness.ml: Ablations Alcotest Experiments Fastflip Ff_benchmarks Ff_harness Ff_inject Lazy List Option String Tables

@@ -1,0 +1,1 @@
+test/test_inject.ml: Alcotest Array Campaign Eqclass Ff_inject Ff_ir Ff_lang Ff_vm Format Int64 List Outcome Site

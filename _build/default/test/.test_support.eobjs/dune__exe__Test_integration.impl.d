@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Baseline Compare Defs Fastflip Ff_benchmarks Ff_harness Ff_inject Ff_lang Ff_vm Lazy List Option Pipeline Printf Registry Result Valuation

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Asm Ff_benchmarks Ff_ir Ff_lang Ff_support Ff_vm Float Format Instr Int64 Kernel List Program QCheck2 QCheck_alcotest Result Value

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Ff_lang Format Lexer List Loc Token

@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Array Ff_benchmarks Ff_ir Ff_lang Ff_vm Format Frontend Int64 List

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Buffer Ff_benchmarks Ff_ir Ff_lang Ff_support Ff_vm Format Frontend Instr Int64 Kernel List Opt Printf Program QCheck2 QCheck_alcotest Result Value

@@ -1,0 +1,1 @@
+test/test_sensitivity.ml: Alcotest Ff_lang Ff_sensitivity Ff_support Ff_vm Int64 Printf Result

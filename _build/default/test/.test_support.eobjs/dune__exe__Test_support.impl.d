@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Ff_support Fun Int64 List Printf String

@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Ff_lang Format Parser Printf Typecheck

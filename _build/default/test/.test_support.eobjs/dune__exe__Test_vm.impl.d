@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Ff_ir Ff_lang Ff_vm Float Format Golden Instr Int64 Kernel List Machine Replay String Trace Value

@@ -1,0 +1,374 @@
+(* FastFlip core tests: valuation (Algorithm 2), knapsack selection
+   (checked against brute force with qcheck), the incremental store,
+   target adjustment, and utility comparison. *)
+
+module Site = Ff_inject.Site
+module Campaign = Ff_inject.Campaign
+module Golden = Ff_vm.Golden
+module Frontend = Ff_lang.Frontend
+open Fastflip
+
+let pc k i = { Site.kernel = k; instr = i }
+
+(* --- knapsack ------------------------------------------------------------- *)
+
+let item k i value cost = { Knapsack.pc = pc k i; value; cost }
+
+let test_knapsack_empty_target () =
+  let sol = Knapsack.solve [ item 0 0 5 10 ] in
+  let sel = Knapsack.select sol ~target:0 in
+  Alcotest.(check (list int)) "empty selection" []
+    (List.map (fun p -> p.Site.instr) sel.Knapsack.pcs)
+
+let test_knapsack_prefers_cheap () =
+  let items = [ item 0 0 10 100; item 0 1 10 1 ] in
+  let sol = Knapsack.solve items in
+  let sel = Knapsack.select sol ~target:10 in
+  Alcotest.(check int) "picks the cheap item" 1 sel.Knapsack.cost;
+  Alcotest.(check int) "value covered" 10 sel.Knapsack.value
+
+let test_knapsack_combines () =
+  let items = [ item 0 0 6 3; item 0 1 5 3; item 0 2 4 100 ] in
+  let sol = Knapsack.solve items in
+  let sel = Knapsack.select sol ~target:11 in
+  Alcotest.(check int) "two cheap items" 6 sel.Knapsack.cost;
+  Alcotest.(check int) "value" 11 sel.Knapsack.value
+
+let test_knapsack_target_above_max () =
+  let items = [ item 0 0 3 1; item 0 1 4 1 ] in
+  let sol = Knapsack.solve items in
+  Alcotest.(check int) "max value" 7 (Knapsack.max_value sol);
+  let sel = Knapsack.select sol ~target:100 in
+  Alcotest.(check int) "clamps to everything" 7 sel.Knapsack.value
+
+let test_knapsack_zero_value_items_ignored () =
+  let items = [ item 0 0 0 1; item 0 1 5 2 ] in
+  let sol = Knapsack.solve items in
+  let sel = Knapsack.select sol ~target:5 in
+  Alcotest.(check int) "only the valued item" 2 sel.Knapsack.cost
+
+(* Brute force: enumerate all subsets. *)
+let brute_force (items : Knapsack.item list) target =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let best = ref max_int in
+  for mask = 0 to (1 lsl n) - 1 do
+    let value = ref 0 and cost = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        value := !value + arr.(i).Knapsack.value;
+        cost := !cost + arr.(i).Knapsack.cost
+      end
+    done;
+    if !value >= target && !cost < !best then best := !cost
+  done;
+  !best
+
+let gen_items =
+  QCheck2.Gen.(
+    list_size (int_range 1 10)
+      (map2
+         (fun v c -> { Knapsack.pc = pc 0 (Random.State.bits (Random.State.make [|v; c|]) land 0xFFFF); value = v mod 20; cost = 1 + (c mod 30) })
+         (int_range 0 1000) (int_range 0 1000)))
+
+let prop_knapsack_optimal =
+  QCheck2.Test.make ~count:120 ~name:"DP matches brute force"
+    QCheck2.Gen.(pair gen_items (int_range 0 60))
+    (fun (raw_items, target) ->
+      (* Deduplicate pcs: the solver treats the pc as an identifier. *)
+      let items =
+        List.mapi (fun i it -> { it with Knapsack.pc = pc 0 i }) raw_items
+      in
+      let sol = Knapsack.solve items in
+      let target = min target (Knapsack.max_value sol) in
+      let sel = Knapsack.select sol ~target in
+      let best = brute_force (List.filter (fun (i : Knapsack.item) -> i.Knapsack.value > 0) items) target in
+      sel.Knapsack.value >= target && sel.Knapsack.cost = (if best = max_int then 0 else best))
+
+let prop_knapsack_selection_consistent =
+  QCheck2.Test.make ~count:120 ~name:"selection sums match reported totals" gen_items
+    (fun raw_items ->
+      let items = List.mapi (fun i it -> { it with Knapsack.pc = pc 0 i }) raw_items in
+      let sol = Knapsack.solve items in
+      let target = Knapsack.max_value sol / 2 in
+      let sel = Knapsack.select sol ~target in
+      let lookup p : Knapsack.item = List.find (fun (i : Knapsack.item) -> i.Knapsack.pc = p) items in
+      let value = List.fold_left (fun acc p -> acc + (lookup p).Knapsack.value) 0 sel.Knapsack.pcs in
+      let cost = List.fold_left (fun acc p -> acc + (lookup p).Knapsack.cost) 0 sel.Knapsack.pcs in
+      value = sel.Knapsack.value && cost = sel.Knapsack.cost)
+
+let prop_knapsack_cost_monotone =
+  QCheck2.Test.make ~count:60 ~name:"cost is monotone in the target" gen_items
+    (fun raw_items ->
+      let items = List.mapi (fun i it -> { it with Knapsack.pc = pc 0 i }) raw_items in
+      let sol = Knapsack.solve items in
+      let total = Knapsack.max_value sol in
+      let costs =
+        List.init 10 (fun i ->
+            (Knapsack.select sol ~target:(total * i / 10)).Knapsack.cost)
+      in
+      let rec ascending = function
+        | a :: (b :: _ as rest) -> a <= b && ascending rest
+        | _ -> true
+      in
+      ascending costs)
+
+(* --- pipeline on a small program ------------------------------------------- *)
+
+let program_src =
+  {|buffer a : float[2] = { 0.5, 0.25 };
+buffer mid : float[2] = zeros;
+output buffer res : float[2] = zeros;
+kernel first(in a: float[], out mid: float[]) {
+  for i in 0..2 { mid[i] = a[i] * 2.0; }
+}
+kernel second(in mid: float[], out res: float[]) {
+  for i in 0..2 { res[i] = mid[i] + 0.5; }
+}
+schedule {
+  call first(a, mid);
+  call second(mid, res);
+}|}
+
+let quick_config =
+  {
+    Pipeline.default_config with
+    Pipeline.campaign =
+      { Campaign.default_config with Campaign.bits = Site.Bit_list [ 1; 33; 63 ] };
+    sensitivity_samples = 60;
+  }
+
+let compile src = Result.get_ok (Frontend.compile src)
+
+let analysis = lazy (Pipeline.analyze quick_config (compile program_src))
+
+let base = lazy (Baseline.analyze quick_config.Pipeline.campaign ~epsilon:0.0
+                   (Lazy.force analysis).Pipeline.golden)
+
+let test_pipeline_shapes () =
+  let a = Lazy.force analysis in
+  Alcotest.(check int) "one record per section" 2 (Array.length a.Pipeline.sections);
+  Alcotest.(check int) "no store: all analyzed" 2 a.Pipeline.sections_analyzed;
+  Alcotest.(check int) "no store: none reused" 0 a.Pipeline.sections_reused;
+  Alcotest.(check bool) "work positive" true (a.Pipeline.work > 0);
+  Alcotest.(check int) "work = total when fresh" a.Pipeline.total_section_work
+    a.Pipeline.work
+
+let test_valuation_totals () =
+  let a = Lazy.force analysis in
+  let v = a.Pipeline.valuation in
+  Alcotest.(check int) "cost = trace length" a.Pipeline.golden.Golden.total_dyn
+    v.Valuation.total_cost;
+  Alcotest.(check bool) "some value found" true (v.Valuation.total_value > 0);
+  let sum = List.fold_left (fun acc (_, n) -> acc + n) 0 v.Valuation.values in
+  Alcotest.(check int) "per-pc values sum to total" v.Valuation.total_value sum
+
+let test_valuation_fractions () =
+  let a = Lazy.force analysis in
+  let v = a.Pipeline.valuation in
+  let all_pcs = List.map fst v.Valuation.values in
+  Alcotest.(check (float 1e-9)) "full selection = 1.0" 1.0
+    (Valuation.value_fraction v ~selected:all_pcs);
+  Alcotest.(check (float 1e-9)) "empty selection = 0" 0.0
+    (Valuation.value_fraction v ~selected:[]);
+  let frac = Valuation.cost_fraction v ~selected:all_pcs in
+  Alcotest.(check bool) "cost fraction in (0,1]" true (frac > 0.0 && frac <= 1.0)
+
+let test_select_meets_target () =
+  let a = Lazy.force analysis in
+  let sel = Pipeline.select a ~target:0.9 in
+  let v = a.Pipeline.valuation in
+  let achieved = Valuation.value_fraction v ~selected:sel.Knapsack.pcs in
+  Alcotest.(check bool) "selection reaches its own target" true (achieved >= 0.9 -. 1e-9)
+
+let test_revaluate_epsilon () =
+  let a = Lazy.force analysis in
+  let relaxed = Pipeline.revaluate a ~epsilon:1e6 in
+  Alcotest.(check bool) "huge epsilon shrinks value mass" true
+    (relaxed.Pipeline.valuation.Valuation.total_value
+    <= a.Pipeline.valuation.Valuation.total_value);
+  let strict = Pipeline.revaluate a ~epsilon:0.0 in
+  Alcotest.(check int) "revaluate at same epsilon is stable"
+    a.Pipeline.valuation.Valuation.total_value
+    strict.Pipeline.valuation.Valuation.total_value
+
+let test_baseline_valuation () =
+  let b = Lazy.force base in
+  Alcotest.(check bool) "baseline found value" true
+    (b.Baseline.valuation.Valuation.total_value > 0);
+  let sel = Baseline.select b ~target:0.9 in
+  let achieved =
+    Valuation.value_fraction b.Baseline.valuation ~selected:sel.Knapsack.pcs
+  in
+  Alcotest.(check bool) "baseline meets own target" true (achieved >= 0.9 -. 1e-9)
+
+(* --- store / incremental ---------------------------------------------------- *)
+
+let test_store_hits () =
+  let store = Store.create () in
+  let a1 = Pipeline.analyze ~store quick_config (compile program_src) in
+  Alcotest.(check int) "first run analyzes everything" 2 a1.Pipeline.sections_analyzed;
+  let a2 = Pipeline.analyze ~store quick_config (compile program_src) in
+  Alcotest.(check int) "second run reuses everything" 2 a2.Pipeline.sections_reused;
+  Alcotest.(check int) "second run costs nothing" 0 a2.Pipeline.work;
+  Alcotest.(check int) "identical valuation"
+    a1.Pipeline.valuation.Valuation.total_value
+    a2.Pipeline.valuation.Valuation.total_value
+
+let test_store_invalidates_on_edit () =
+  let store = Store.create () in
+  let _ = Pipeline.analyze ~store quick_config (compile program_src) in
+  (* Edit the second kernel only (same semantics, different code). *)
+  let edited =
+    {|buffer a : float[2] = { 0.5, 0.25 };
+buffer mid : float[2] = zeros;
+output buffer res : float[2] = zeros;
+kernel first(in a: float[], out mid: float[]) {
+  for i in 0..2 { mid[i] = a[i] * 2.0; }
+}
+kernel second(in mid: float[], out res: float[]) {
+  for i in 0..2 {
+    var t: float = mid[i];
+    res[i] = t + 0.5;
+  }
+}
+schedule {
+  call first(a, mid);
+  call second(mid, res);
+}|}
+  in
+  let a2 = Pipeline.analyze ~store quick_config (compile edited) in
+  Alcotest.(check int) "first reused" 1 a2.Pipeline.sections_reused;
+  Alcotest.(check int) "second re-analyzed" 1 a2.Pipeline.sections_analyzed
+
+let test_store_invalidates_downstream_on_semantic_change () =
+  let store = Store.create () in
+  let _ = Pipeline.analyze ~store quick_config (compile program_src) in
+  (* Change the FIRST kernel's semantics: its output changes, so the
+     downstream section's input hash changes and it re-analyzes too. *)
+  let changed =
+    {|buffer a : float[2] = { 0.5, 0.25 };
+buffer mid : float[2] = zeros;
+output buffer res : float[2] = zeros;
+kernel first(in a: float[], out mid: float[]) {
+  for i in 0..2 { mid[i] = a[i] * 3.0; }
+}
+kernel second(in mid: float[], out res: float[]) {
+  for i in 0..2 { res[i] = mid[i] + 0.5; }
+}
+schedule {
+  call first(a, mid);
+  call second(mid, res);
+}|}
+  in
+  let a2 = Pipeline.analyze ~store quick_config (compile changed) in
+  Alcotest.(check int) "nothing reused" 0 a2.Pipeline.sections_reused;
+  Alcotest.(check int) "both re-analyzed" 2 a2.Pipeline.sections_analyzed
+
+let test_store_config_isolation () =
+  let store = Store.create () in
+  let _ = Pipeline.analyze ~store quick_config (compile program_src) in
+  let other_config =
+    { quick_config with Pipeline.campaign = { quick_config.Pipeline.campaign with Campaign.bits = Site.Bit_list [ 2 ] } }
+  in
+  let a2 = Pipeline.analyze ~store other_config (compile program_src) in
+  Alcotest.(check int) "different config: no reuse" 0 a2.Pipeline.sections_reused
+
+let test_store_counters () =
+  let store = Store.create () in
+  Alcotest.(check int) "empty" 0 (Store.size store);
+  let _ = Pipeline.analyze ~store quick_config (compile program_src) in
+  Alcotest.(check int) "two records" 2 (Store.size store);
+  Alcotest.(check int) "two misses" 2 (Store.misses store);
+  let _ = Pipeline.analyze ~store quick_config (compile program_src) in
+  Alcotest.(check int) "two hits" 2 (Store.hits store)
+
+(* --- adjust / compare --------------------------------------------------------- *)
+
+let test_adjust_identity () =
+  let st = Adjust.identity ~target:0.9 in
+  Alcotest.(check (float 0.0)) "no adjustment" 0.9 st.Adjust.adjusted_target;
+  Alcotest.(check bool) "never refreshes" false
+    (Adjust.needs_refresh (Adjust.after_modification st))
+
+let test_adjust_refresh_counter () =
+  let a = Lazy.force analysis in
+  let b = Lazy.force base in
+  let st =
+    Adjust.fresh ~p_adj:2 ~ff:a ~ground_truth:b.Baseline.valuation ~target:0.9 ()
+  in
+  Alcotest.(check bool) "fresh does not refresh" false (Adjust.needs_refresh st);
+  let st = Adjust.after_modification (Adjust.after_modification st) in
+  Alcotest.(check bool) "after p_adj modifications" true (Adjust.needs_refresh st)
+
+let test_adjusted_target_achieves () =
+  let a = Lazy.force analysis in
+  let b = Lazy.force base in
+  let target = 0.9 in
+  let adjusted =
+    Adjust.compute_adjusted_target ~ff:a ~ground_truth:b.Baseline.valuation ~target
+  in
+  let sel = Pipeline.select a ~target:adjusted in
+  let achieved =
+    Valuation.value_fraction b.Baseline.valuation ~selected:sel.Knapsack.pcs
+  in
+  if adjusted < 1.0 then
+    Alcotest.(check bool) "adjusted selection achieves the target" true
+      (achieved >= target -. 1e-9)
+
+let test_compare_row_fields () =
+  let a = Lazy.force analysis in
+  let b = Lazy.force base in
+  let row = Compare.row ~ff:a ~base:b ~inaccuracy:0.04 ~target:0.9 ~used_target:0.9 in
+  Alcotest.(check (float 1e-12)) "diff = ff - base" (row.Compare.ff_cost -. row.Compare.base_cost)
+    row.Compare.cost_diff;
+  Alcotest.(check bool) "achieved in [0,1]" true
+    (row.Compare.achieved >= 0.0 && row.Compare.achieved <= 1.0);
+  Alcotest.(check bool) "error range non-negative" true (row.Compare.error_range >= 0.0)
+
+let test_default_inaccuracies () =
+  Alcotest.(check (float 0.0)) "fft" 0.03 (Compare.default_inaccuracy "FFT");
+  Alcotest.(check (float 0.0)) "bscholes" 0.10 (Compare.default_inaccuracy "bscholes");
+  Alcotest.(check (float 0.0)) "unknown" 0.04 (Compare.default_inaccuracy "whatever")
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "knapsack",
+        [
+          Alcotest.test_case "empty target" `Quick test_knapsack_empty_target;
+          Alcotest.test_case "prefers cheap" `Quick test_knapsack_prefers_cheap;
+          Alcotest.test_case "combines items" `Quick test_knapsack_combines;
+          Alcotest.test_case "target above max" `Quick test_knapsack_target_above_max;
+          Alcotest.test_case "zero-value ignored" `Quick test_knapsack_zero_value_items_ignored;
+          QCheck_alcotest.to_alcotest prop_knapsack_optimal;
+          QCheck_alcotest.to_alcotest prop_knapsack_selection_consistent;
+          QCheck_alcotest.to_alcotest prop_knapsack_cost_monotone;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "shapes" `Quick test_pipeline_shapes;
+          Alcotest.test_case "valuation totals" `Quick test_valuation_totals;
+          Alcotest.test_case "valuation fractions" `Quick test_valuation_fractions;
+          Alcotest.test_case "select meets target" `Quick test_select_meets_target;
+          Alcotest.test_case "revaluate epsilon" `Quick test_revaluate_epsilon;
+          Alcotest.test_case "baseline" `Quick test_baseline_valuation;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "hits on identical version" `Quick test_store_hits;
+          Alcotest.test_case "invalidates edited kernel" `Quick test_store_invalidates_on_edit;
+          Alcotest.test_case "invalidates downstream" `Quick
+            test_store_invalidates_downstream_on_semantic_change;
+          Alcotest.test_case "config isolation" `Quick test_store_config_isolation;
+          Alcotest.test_case "counters" `Quick test_store_counters;
+        ] );
+      ( "adjust/compare",
+        [
+          Alcotest.test_case "identity" `Quick test_adjust_identity;
+          Alcotest.test_case "refresh counter" `Quick test_adjust_refresh_counter;
+          Alcotest.test_case "adjusted target achieves" `Quick test_adjusted_target_achieves;
+          Alcotest.test_case "compare row" `Quick test_compare_row_fields;
+          Alcotest.test_case "default inaccuracies" `Quick test_default_inaccuracies;
+        ] );
+    ]

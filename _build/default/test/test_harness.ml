@@ -1,0 +1,116 @@
+(* Harness tests: the experiment runner and the table/figure renderers
+   produce well-formed artifacts on a quick configuration. *)
+
+module Site = Ff_inject.Site
+module Campaign = Ff_inject.Campaign
+module Pipeline = Fastflip.Pipeline
+open Ff_harness
+
+let quick_config =
+  {
+    Pipeline.default_config with
+    Pipeline.campaign =
+      { Campaign.default_config with Campaign.bits = Site.Bit_list [ 2; 40; 63 ] };
+    sensitivity_samples = 50;
+  }
+
+let bscholes_run =
+  lazy
+    (Experiments.run_benchmark ~config:quick_config
+       (Option.get (Ff_benchmarks.Registry.find "BScholes")))
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.equal (String.sub haystack i nl) needle || go (i + 1))
+  in
+  nl = 0 || go 0
+
+let test_run_benchmark_shape () =
+  let run = Lazy.force bscholes_run in
+  Alcotest.(check int) "three versions" 3 (List.length run.Experiments.results);
+  Alcotest.(check int) "three adjusted targets" 3
+    (List.length run.Experiments.adjusted_targets);
+  List.iter
+    (fun (target, adjusted) ->
+      Alcotest.(check bool) "targets in [0,1]" true
+        (target >= 0.0 && target <= 1.0 && adjusted >= 0.0 && adjusted <= 1.0))
+    run.Experiments.adjusted_targets
+
+let test_utility_rows_arity () =
+  let run = Lazy.force bscholes_run in
+  List.iter
+    (fun result ->
+      Alcotest.(check int) "three rows per version" 3
+        (List.length (Experiments.utility_rows run result));
+      Alcotest.(check int) "three unadjusted rows" 3
+        (List.length (Experiments.utility_rows ~adjusted:false run result));
+      Alcotest.(check int) "three epsilon rows" 3
+        (List.length (Experiments.utility_rows_at ~epsilon:0.01 run result)))
+    run.Experiments.results
+
+let test_speedup_positive () =
+  let run = Lazy.force bscholes_run in
+  List.iter
+    (fun r -> Alcotest.(check bool) "speedup > 0" true (Experiments.speedup r > 0.0))
+    run.Experiments.results
+
+let test_table1_renders () =
+  let s = Tables.table1 [ Lazy.force bscholes_run ] in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains s needle))
+    [ "Table 1"; "BScholes"; "2 options"; "Error Sites" ]
+
+let test_table2_renders () =
+  let run = Lazy.force bscholes_run in
+  let s = Tables.table2 (fun run result -> Experiments.utility_rows run result) [ run ] in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains s needle))
+    [ "Table 2"; "BScholes"; "None"; "Small"; "Large"; "geomean cost" ]
+
+let test_table3_renders () =
+  let s = Tables.table3 [ Lazy.force bscholes_run ] in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains s needle))
+    [ "Table 3"; "Speedup"; "geomean speedup" ]
+
+let test_table4_renders () =
+  let s = Tables.table4 (Lazy.force bscholes_run) in
+  Alcotest.(check bool) "renders" true (contains s "Table 4")
+
+let test_figure1_renders () =
+  let s = Tables.figure1 ~targets:[ 0.90; 0.95; 1.0 ] (Lazy.force bscholes_run) in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains s needle))
+    [ "Figure 1"; "Equation 2"; "phi(s"; "Target  Achieved" ]
+
+let test_ablation_renderers () =
+  let run = Lazy.force bscholes_run in
+  let cost = Ablations.cost_models [ run ] in
+  Alcotest.(check bool) "cost models table" true (contains cost "Per-instruction");
+  let pruning = Ablations.pruning [ run ] in
+  Alcotest.(check bool) "pruning table" true (contains pruning "pilots");
+  let burst =
+    Ablations.burst ~config:quick_config (Option.get (Ff_benchmarks.Registry.find "BScholes"))
+  in
+  Alcotest.(check bool) "burst table" true (contains burst "Burst")
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "experiments",
+        [
+          Alcotest.test_case "run shape" `Quick test_run_benchmark_shape;
+          Alcotest.test_case "utility rows" `Quick test_utility_rows_arity;
+          Alcotest.test_case "speedup" `Quick test_speedup_positive;
+        ] );
+      ( "renderers",
+        [
+          Alcotest.test_case "table1" `Quick test_table1_renders;
+          Alcotest.test_case "table2" `Quick test_table2_renders;
+          Alcotest.test_case "table3" `Quick test_table3_renders;
+          Alcotest.test_case "table4" `Quick test_table4_renders;
+          Alcotest.test_case "figure1" `Quick test_figure1_renders;
+          Alcotest.test_case "ablations" `Quick test_ablation_renderers;
+        ] );
+    ]

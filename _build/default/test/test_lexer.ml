@@ -1,0 +1,115 @@
+(* Lexer tests: token kinds, literals, comments, locations, errors. *)
+
+open Ff_lang
+
+let tokens_of src =
+  match Lexer.tokenize src with
+  | Ok spanned -> List.map (fun s -> s.Token.token) spanned
+  | Error e -> Alcotest.failf "lex error: %s" (Format.asprintf "%a" Lexer.pp_error e)
+
+let token = Alcotest.testable Token.pp Token.equal
+
+let check_tokens msg src expected =
+  Alcotest.(check (list token)) msg (expected @ [ Token.EOF ]) (tokens_of src)
+
+let test_keywords () =
+  check_tokens "keywords" "buffer output kernel schedule call var if else while for in out inout int float zeros"
+    [
+      Token.KW_BUFFER; Token.KW_OUTPUT; Token.KW_KERNEL; Token.KW_SCHEDULE; Token.KW_CALL;
+      Token.KW_VAR; Token.KW_IF; Token.KW_ELSE; Token.KW_WHILE; Token.KW_FOR; Token.KW_IN;
+      Token.KW_OUT; Token.KW_INOUT; Token.KW_INT; Token.KW_FLOAT; Token.KW_ZEROS;
+    ]
+
+let test_identifiers () =
+  check_tokens "identifiers" "foo _bar x1 Zed"
+    [ Token.IDENT "foo"; Token.IDENT "_bar"; Token.IDENT "x1"; Token.IDENT "Zed" ]
+
+let test_int_literals () =
+  check_tokens "decimal ints" "0 42 1234567890123"
+    [ Token.INT 0L; Token.INT 42L; Token.INT 1234567890123L ];
+  check_tokens "hex ints" "0x0 0xFF 0xdeadBEEF"
+    [ Token.INT 0L; Token.INT 255L; Token.INT 0xDEADBEEFL ]
+
+let test_float_literals () =
+  check_tokens "floats" "1.0 0.5 2.5e3 1e-2 3.25E+1"
+    [
+      Token.FLOAT 1.0; Token.FLOAT 0.5; Token.FLOAT 2500.0; Token.FLOAT 0.01;
+      Token.FLOAT 32.5;
+    ]
+
+let test_int_then_range () =
+  (* "0..4" must lex as INT DOTDOT INT, not a malformed float. *)
+  check_tokens "range" "0..4" [ Token.INT 0L; Token.DOTDOT; Token.INT 4L ]
+
+let test_operators () =
+  check_tokens "operators" "+ - * / % == != < <= > >= && || ! & | ^ ~ << >> = .."
+    [
+      Token.PLUS; Token.MINUS; Token.STAR; Token.SLASH; Token.PERCENT; Token.EQ; Token.NE;
+      Token.LT; Token.LE; Token.GT; Token.GE; Token.ANDAND; Token.OROR; Token.BANG;
+      Token.AMP; Token.PIPE; Token.CARET; Token.TILDE; Token.SHL; Token.SHR; Token.ASSIGN;
+      Token.DOTDOT;
+    ]
+
+let test_punctuation () =
+  check_tokens "punctuation" "( ) { } [ ] , ; :"
+    [
+      Token.LPAREN; Token.RPAREN; Token.LBRACE; Token.RBRACE; Token.LBRACKET;
+      Token.RBRACKET; Token.COMMA; Token.SEMI; Token.COLON;
+    ]
+
+let test_comments () =
+  check_tokens "line comments" "1 // ignored until eol\n2 # also ignored\n3"
+    [ Token.INT 1L; Token.INT 2L; Token.INT 3L ]
+
+let test_locations () =
+  match Lexer.tokenize "a\n  b" with
+  | Error _ -> Alcotest.fail "unexpected lex error"
+  | Ok spanned -> (
+    match spanned with
+    | [ a; b; _eof ] ->
+      Alcotest.(check int) "a line" 1 a.Token.loc.Loc.line;
+      Alcotest.(check int) "a col" 1 a.Token.loc.Loc.col;
+      Alcotest.(check int) "b line" 2 b.Token.loc.Loc.line;
+      Alcotest.(check int) "b col" 3 b.Token.loc.Loc.col
+    | _ -> Alcotest.fail "unexpected token count")
+
+let expect_error msg src =
+  match Lexer.tokenize src with
+  | Ok _ -> Alcotest.failf "expected lex error for %s" msg
+  | Error _ -> ()
+
+let test_errors () =
+  expect_error "stray char" "a $ b";
+  expect_error "empty hex" "0x";
+  expect_error "empty exponent" "1e"
+
+let test_error_location () =
+  match Lexer.tokenize "ab\n  $" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e ->
+    Alcotest.(check int) "error line" 2 e.Lexer.loc.Loc.line;
+    Alcotest.(check int) "error col" 3 e.Lexer.loc.Loc.col
+
+let test_always_ends_with_eof () =
+  Alcotest.(check (list token)) "empty input" [ Token.EOF ] (tokens_of "");
+  Alcotest.(check (list token)) "only comment" [ Token.EOF ] (tokens_of "// nothing\n")
+
+let () =
+  Alcotest.run "lexer"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "keywords" `Quick test_keywords;
+          Alcotest.test_case "identifiers" `Quick test_identifiers;
+          Alcotest.test_case "int literals" `Quick test_int_literals;
+          Alcotest.test_case "float literals" `Quick test_float_literals;
+          Alcotest.test_case "int then range" `Quick test_int_then_range;
+          Alcotest.test_case "operators" `Quick test_operators;
+          Alcotest.test_case "punctuation" `Quick test_punctuation;
+          Alcotest.test_case "comments" `Quick test_comments;
+          Alcotest.test_case "locations" `Quick test_locations;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "error location" `Quick test_error_location;
+          Alcotest.test_case "eof" `Quick test_always_ends_with_eof;
+        ] );
+    ]

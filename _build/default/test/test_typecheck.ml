@@ -1,0 +1,184 @@
+(* Typechecker tests: the static rules of the kernel language. *)
+
+open Ff_lang
+
+let wrap_kernel body =
+  Printf.sprintf
+    {|
+buffer inbuf : float[4] = zeros;
+buffer intbuf : int[4] = zeros;
+output buffer outbuf : float[4] = zeros;
+kernel k(n: int, x: float, in inbuf: float[], in intbuf: int[], out outbuf: float[]) {
+%s
+}
+schedule { call k(1, 2.0, inbuf, intbuf, outbuf); }
+|}
+    body
+
+let check_src src =
+  match Parser.parse src with
+  | Error e -> Error (Format.asprintf "parse: %a" Parser.pp_error e)
+  | Ok ast -> (
+    match Typecheck.check ast with
+    | Ok () -> Ok ()
+    | Error e -> Error (Format.asprintf "%a" Typecheck.pp_error e))
+
+let accepts msg body =
+  match check_src (wrap_kernel body) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s should typecheck but: %s" msg e
+
+let rejects msg body =
+  match check_src (wrap_kernel body) with
+  | Ok () -> Alcotest.failf "%s should be rejected" msg
+  | Error _ -> ()
+
+let rejects_program msg src =
+  match check_src src with
+  | Ok () -> Alcotest.failf "%s should be rejected" msg
+  | Error _ -> ()
+
+let test_accepts_basics () =
+  accepts "arith and stores" "var y: float = x * 2.0; outbuf[n] = y + inbuf[0];";
+  accepts "int ops" "var i: int = (n + 1) * 2 % 3; outbuf[i] = 0.0;";
+  accepts "comparisons yield int" "var c: int = x > 1.0; if (c) { outbuf[0] = 1.0; }";
+  accepts "logical ops" "if (n > 0 && n < 5 || !(n == 2)) { outbuf[0] = 1.0; }";
+  accepts "builtins" "outbuf[0] = pow(sqrt(fabs(x)), 2.0) + float_of_int(n);";
+  accepts "select" "outbuf[0] = select(n > 0, 1.0, 2.0);";
+  accepts "casts" "var i: int = int_of_float(x); outbuf[0] = float_of_int(i);";
+  accepts "bit builtins" "var b: int = rotr(intbuf[0], 3) ^ lshr(intbuf[1], 2);
+                          outbuf[0] = float_of_int(b);";
+  accepts "while" "var i: int = 0; while (i < n) { i = i + 1; }";
+  accepts "for" "for i in 0..4 { outbuf[i] = inbuf[i]; }"
+
+let test_rejects_mixed_arithmetic () =
+  rejects "int + float" "var y: float = x + n;";
+  rejects "float index" "outbuf[x] = 1.0;";
+  rejects "float mod" "var y: float = x % 2.0;";
+  rejects "float shift" "var y: float = x << 1;";
+  rejects "float condition" "if (x) { outbuf[0] = 1.0; }";
+  rejects "float logical" "if (x && x) { outbuf[0] = 1.0; }"
+
+let test_rejects_bad_names () =
+  rejects "unknown variable" "outbuf[0] = nope;";
+  rejects "unknown buffer" "outbuf[0] = ghost[0];";
+  rejects "unknown function" "outbuf[0] = mystery(x);";
+  rejects "buffer as scalar" "var y: float = inbuf;";
+  rejects "scalar as buffer" "outbuf[0] = x[0];"
+
+let test_rejects_bad_stores () =
+  rejects "store to in buffer" "inbuf[0] = 1.0;";
+  rejects "store wrong elem type" "outbuf[0] = n;";
+  rejects "assign to buffer" "outbuf = 1.0;"
+
+let test_rejects_redeclaration () =
+  rejects "var redeclared" "var y: float = 1.0; var y: float = 2.0;";
+  rejects "var shadows param" "var x: float = 1.0;";
+  rejects "loop var shadows var" "var i: int = 0; for i in 0..2 { }";
+  rejects "loop var assigned" "for i in 0..4 { i = 0; }"
+
+let test_rejects_wrong_decl_type () =
+  rejects "float init for int var" "var i: int = 1.0;";
+  rejects "int init for float var" "var y: float = 1;";
+  rejects "assign wrong type" "var y: float = 1.0; y = 1;"
+
+let test_rejects_bad_builtin_arity () =
+  rejects "sqrt arity" "outbuf[0] = sqrt(x, x);";
+  rejects "pow arity" "outbuf[0] = pow(x);";
+  rejects "select arity" "outbuf[0] = select(n > 0, 1.0);";
+  rejects "select branch mismatch" "outbuf[0] = select(n > 0, 1.0, n);";
+  rejects "sqrt on int" "outbuf[0] = sqrt(n);";
+  rejects "rotr on float" "var b: int = rotr(x, 1);"
+
+let test_for_bounds_int () =
+  rejects "float lower bound" "for i in 0.0..4 { }";
+  rejects "float upper bound" "for i in 0..x { }"
+
+let test_program_level_rules () =
+  rejects_program "duplicate buffer"
+    {|buffer a : float[1] = zeros;
+buffer a : float[1] = zeros;
+output buffer o : float[1] = zeros;
+kernel k(out o: float[]) { o[0] = 1.0; }
+schedule { call k(o); }|};
+  rejects_program "duplicate kernel"
+    {|output buffer o : float[1] = zeros;
+kernel k(out o: float[]) { o[0] = 1.0; }
+kernel k(out o: float[]) { o[0] = 2.0; }
+schedule { call k(o); }|};
+  rejects_program "duplicate parameter"
+    {|output buffer o : float[1] = zeros;
+kernel k(a: int, a: int, out o: float[]) { o[0] = 1.0; }
+schedule { call k(1, 2, o); }|};
+  rejects_program "initializer arity"
+    {|output buffer o : float[2] = { 1.0 };
+kernel k(out o: float[]) { o[0] = 1.0; }
+schedule { call k(o); }|};
+  rejects_program "int literal in float buffer"
+    {|output buffer o : float[1] = { 1 };
+kernel k(out o: float[]) { o[0] = 1.0; }
+schedule { call k(o); }|}
+
+let test_schedule_rules () =
+  rejects_program "unknown kernel in call"
+    {|output buffer o : float[1] = zeros;
+kernel k(out o: float[]) { o[0] = 1.0; }
+schedule { call ghost(o); }|};
+  rejects_program "call arity"
+    {|output buffer o : float[1] = zeros;
+kernel k(n: int, out o: float[]) { o[0] = 1.0; }
+schedule { call k(o); }|};
+  rejects_program "buffer arg wrong type"
+    {|buffer i : int[1] = zeros;
+output buffer o : float[1] = zeros;
+kernel k(out o: float[]) { o[0] = 1.0; }
+schedule { call k(i); }|};
+  rejects_program "scalar arg wrong type"
+    {|output buffer o : float[1] = zeros;
+kernel k(n: int, out o: float[]) { o[0] = 1.0; }
+schedule { call k(1.5, o); }|};
+  rejects_program "expression as buffer arg"
+    {|output buffer o : float[1] = zeros;
+kernel k(out o: float[]) { o[0] = 1.0; }
+schedule { call k(1 + 2); }|};
+  rejects_program "loop var shadowing in schedule"
+    {|output buffer o : float[1] = zeros;
+kernel k(n: int, out o: float[]) { o[0] = 1.0; }
+schedule { for t in 0..2 { for t in 0..2 { call k(t, o); } } }|};
+  rejects_program "buffer inside scalar schedule expr"
+    {|output buffer o : float[1] = zeros;
+kernel k(n: int, out o: float[]) { o[0] = 1.0; }
+schedule { call k(o + 1, o); }|}
+
+let test_schedule_accepts_loop_arith () =
+  let src =
+    {|output buffer o : float[4] = zeros;
+kernel k(n: int, out o: float[]) { o[n] = 1.0; }
+schedule { for t in 0..2 { call k(t * 2 + 1 - 1, o); } }|}
+  in
+  match check_src src with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "schedule arith should typecheck: %s" e
+
+let () =
+  Alcotest.run "typecheck"
+    [
+      ( "kernels",
+        [
+          Alcotest.test_case "accepts basics" `Quick test_accepts_basics;
+          Alcotest.test_case "mixed arithmetic" `Quick test_rejects_mixed_arithmetic;
+          Alcotest.test_case "bad names" `Quick test_rejects_bad_names;
+          Alcotest.test_case "bad stores" `Quick test_rejects_bad_stores;
+          Alcotest.test_case "redeclaration" `Quick test_rejects_redeclaration;
+          Alcotest.test_case "decl types" `Quick test_rejects_wrong_decl_type;
+          Alcotest.test_case "builtin arity" `Quick test_rejects_bad_builtin_arity;
+          Alcotest.test_case "for bounds" `Quick test_for_bounds_int;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "program-level rules" `Quick test_program_level_rules;
+          Alcotest.test_case "schedule rules" `Quick test_schedule_rules;
+          Alcotest.test_case "schedule loop arithmetic" `Quick
+            test_schedule_accepts_loop_arith;
+        ] );
+    ]
