@@ -7,12 +7,19 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- table3       # one artifact
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks only
-     dune exec bench/main.exe -- quick        # tables on a 4-bit subset (fast) *)
+     dune exec bench/main.exe -- quick        # tables on a 4-bit subset (fast)
+     dune exec bench/main.exe -- parallel     # serial-vs-parallel wall-clock
+
+   Campaigns and sensitivity sampling run on FF_DOMAINS domains (default:
+   the recommended domain count); every artifact is bit-identical to the
+   serial run. Each invocation appends wall-clock timings per artifact to
+   BENCH_parallel.json so the perf trajectory is tracked across PRs. *)
 
 open Ff_benchmarks
 module Pipeline = Fastflip.Pipeline
 module Campaign = Ff_inject.Campaign
 module Site = Ff_inject.Site
+module Pool = Ff_support.Pool
 
 let quick_config =
   {
@@ -28,6 +35,14 @@ let timed label f =
   Printf.printf "[%s: %.1fs]\n%!" label (Unix.gettimeofday () -. t0);
   result
 
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+(* The shared campaign pool: FF_DOMAINS wide, created on first use. *)
+let pool = lazy (Pool.create ~domains:(Pool.default_domains ()))
+
 let cached_runs : (string, Ff_harness.Experiments.benchmark_run) Hashtbl.t =
   Hashtbl.create 8
 
@@ -38,7 +53,8 @@ let run_for config bench =
     let run =
       timed
         (Printf.sprintf "analyzed %s (3 versions, FastFlip + baseline)" bench.Defs.name)
-        (fun () -> Ff_harness.Experiments.run_benchmark ~config bench)
+        (fun () ->
+          Ff_harness.Experiments.run_benchmark ~config ~pool:(Lazy.force pool) bench)
     in
     Hashtbl.replace cached_runs bench.Defs.name run;
     run
@@ -97,6 +113,117 @@ let print_evolution config =
     in
     print_endline (Ff_harness.Evolution.render steps)
   | None -> ()
+
+(* --- serial vs parallel wall-clock -------------------------------------- *)
+
+type phase_timing = {
+  phase : string;
+  serial_s : float;
+  parallel_s : float;
+  identical : bool;
+}
+
+let phase_timings : phase_timing list ref = ref []
+let table_timings : (string * float) list ref = ref []
+
+let speedup_of t = if t.parallel_s > 0.0 then t.serial_s /. t.parallel_s else 0.0
+
+(* NaNs can appear inside outcome SDC magnitudes, so structural equality
+   goes through [compare] (which equates them) rather than [=]. *)
+let same a b = Stdlib.compare a b = 0
+
+let print_parallel config =
+  let p = Lazy.force pool in
+  let bench = Option.get (Registry.find "LUD") in
+  let program = Ff_lang.Frontend.compile_exn (bench.Defs.source Defs.V_none) in
+  let golden = Ff_vm.Golden.run program in
+  let campaign_config = config.Pipeline.campaign in
+  let phase name serial parallel check =
+    let s, serial_s = wall serial in
+    let q, parallel_s = wall parallel in
+    let t = { phase = name; serial_s; parallel_s; identical = check s q } in
+    phase_timings := !phase_timings @ [ t ];
+    t
+  in
+  let sections () =
+    Array.init (Array.length golden.Ff_vm.Golden.sections) Fun.id
+  in
+  let campaign =
+    phase "campaign/sections"
+      (fun () ->
+        Array.map (fun i -> Campaign.run_section golden ~section_index:i campaign_config)
+          (sections ()))
+      (fun () ->
+        Array.map
+          (fun i -> Campaign.run_section ~pool:p golden ~section_index:i campaign_config)
+          (sections ()))
+      same
+  in
+  let baseline =
+    phase "campaign/baseline"
+      (fun () -> Campaign.run_baseline golden campaign_config)
+      (fun () -> Campaign.run_baseline ~pool:p golden campaign_config)
+      same
+  in
+  let analysis =
+    phase "pipeline/analyze"
+      (fun () -> Pipeline.analyze config program)
+      (fun () -> Pipeline.analyze ~pool:p config program)
+      (fun a b ->
+        same a.Pipeline.valuation b.Pipeline.valuation
+        && same a.Pipeline.solution b.Pipeline.solution
+        && a.Pipeline.work = b.Pipeline.work)
+  in
+  let t =
+    Ff_support.Table.create
+      ~title:
+        (Printf.sprintf "LUD (V_none): serial vs %d-domain wall-clock" (Pool.domains p))
+      [
+        ("Phase", Ff_support.Table.Left);
+        ("Serial s", Ff_support.Table.Right);
+        ("Parallel s", Ff_support.Table.Right);
+        ("Speedup", Ff_support.Table.Right);
+        ("Identical", Ff_support.Table.Right);
+      ]
+  in
+  List.iter
+    (fun pt ->
+      Ff_support.Table.add_row t
+        [
+          pt.phase;
+          Printf.sprintf "%.3f" pt.serial_s;
+          Printf.sprintf "%.3f" pt.parallel_s;
+          Printf.sprintf "%.2fx" (speedup_of pt);
+          string_of_bool pt.identical;
+        ])
+    [ campaign; baseline; analysis ];
+  Ff_support.Table.print t;
+  if not (campaign.identical && baseline.identical && analysis.identical) then begin
+    prerr_endline "FATAL: parallel run diverged from the serial run";
+    exit 1
+  end
+
+let emit_parallel_json ~quick () =
+  let jobs = if Lazy.is_val pool then Pool.domains (Lazy.force pool) else Pool.default_domains () in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n  \"jobs\": %d,\n  \"quick\": %b,\n  \"phases\": [" jobs quick;
+  List.iteri
+    (fun i t ->
+      add "%s\n    { \"phase\": %S, \"serial_s\": %.6f, \"parallel_s\": %.6f, \"speedup\": %.3f, \"identical\": %b }"
+        (if i = 0 then "" else ",")
+        t.phase t.serial_s t.parallel_s (speedup_of t) t.identical)
+    !phase_timings;
+  add "\n  ],\n  \"tables\": {";
+  List.iteri
+    (fun i (name, s) ->
+      add "%s\n    %S: %.6f" (if i = 0 then "" else ",") name s)
+    !table_timings;
+  add "\n  }\n}\n";
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_parallel.json (%d domains)\n%!" jobs
 
 (* --- Bechamel micro-benchmarks ----------------------------------------- *)
 
@@ -172,7 +299,12 @@ let artifacts =
     ("figure1", print_figure1);
     ("ablations", print_ablations);
     ("evolution", print_evolution);
+    ("parallel", print_parallel);
   ]
+
+let run_artifact config name f =
+  let (), s = wall (fun () -> f config) in
+  table_timings := !table_timings @ [ (name, s) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -181,16 +313,18 @@ let () =
   let requested =
     List.filter (fun a -> List.mem_assoc a artifacts || String.equal a "micro") args
   in
-  match requested with
+  (match requested with
   | [] ->
     Printf.printf
       "FastFlip reproduction: regenerating all evaluation artifacts%s.\n\n%!"
       (if quick then " (quick mode: 4-bit subset)" else "");
-    List.iter (fun (_, f) -> f config) artifacts;
+    List.iter (fun (name, f) -> run_artifact config name f) artifacts;
     micro ()
   | names ->
     List.iter
       (fun name ->
         if String.equal name "micro" then micro ()
-        else (List.assoc name artifacts) config)
-      names
+        else run_artifact config name (List.assoc name artifacts))
+      names);
+  emit_parallel_json ~quick ();
+  if Lazy.is_val pool then Pool.shutdown (Lazy.force pool)

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Quick-bench smoke: run the serial-vs-parallel check and one table under
+# 2 domains, so the parallel campaign/pipeline/sensitivity paths are
+# exercised (and verified bit-identical) in tier-1-style verification.
+# Also available as a dune alias: dune build @bench-quick
+set -eu
+cd "$(dirname "$0")/.."
+dune build bench/main.exe
+FF_DOMAINS=2 dune exec bench/main.exe -- quick parallel table3

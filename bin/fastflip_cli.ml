@@ -15,6 +15,7 @@ module Pipeline = Fastflip.Pipeline
 module Campaign = Ff_inject.Campaign
 module Site = Ff_inject.Site
 module Table = Ff_support.Table
+module Pool = Ff_support.Pool
 
 let read_file path =
   let ic = open_in_bin path in
@@ -61,6 +62,14 @@ let samples_arg =
 let epsilon_arg =
   Arg.(value & opt float 0.0 & info [ "epsilon" ] ~docv:"E"
          ~doc:"SDC-Bad threshold: SDC magnitudes up to E are acceptable.")
+
+let jobs_arg =
+  Arg.(value & opt int (Pool.default_domains ()) & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Domains to run injection campaigns and sensitivity sampling on               (default: \\$FF_DOMAINS, else the recommended domain count).               Results are bit-identical for every N.")
+
+let with_jobs jobs k =
+  let jobs = min 128 (max 1 jobs) in
+  Pool.with_pool ~domains:jobs k
 
 let store_arg =
   Arg.(value & opt (some string) None & info [ "store" ] ~docv:"PATH"
@@ -122,10 +131,13 @@ let run_cmd =
 (* --- analyze ---------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run path target bits samples epsilon store_path =
+  let run path target bits samples epsilon store_path jobs =
     let config = { (config_of ~bits ~samples) with Pipeline.epsilon } in
     let program = compile_file path in
-    let analysis = with_store store_path (fun store -> Pipeline.analyze ~store config program) in
+    let analysis =
+      with_jobs jobs (fun pool ->
+          with_store store_path (fun store -> Pipeline.analyze ~store ~pool config program))
+    in
     Printf.printf "sections reused from the store: %d/%d\n"
       analysis.Pipeline.sections_reused
       (analysis.Pipeline.sections_reused + analysis.Pipeline.sections_analyzed);
@@ -166,17 +178,22 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the full FastFlip analysis on a program and print the selection.")
-    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ store_arg)
+    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ store_arg $ jobs_arg)
 
 (* --- compare ----------------------------------------------------------------- *)
 
 let compare_cmd =
-  let run path target bits samples epsilon =
+  let run path target bits samples epsilon jobs =
     let config = { (config_of ~bits ~samples) with Pipeline.epsilon } in
     let program = compile_file path in
-    let ff = Pipeline.analyze config program in
-    let base =
-      Fastflip.Baseline.analyze config.Pipeline.campaign ~epsilon ff.Pipeline.golden
+    let ff, base =
+      with_jobs jobs (fun pool ->
+          let ff = Pipeline.analyze ~pool config program in
+          let base =
+            Fastflip.Baseline.analyze ~pool config.Pipeline.campaign ~epsilon
+              ff.Pipeline.golden
+          in
+          (ff, base))
     in
     let row =
       Fastflip.Compare.row ~ff ~base ~inaccuracy:0.04 ~target ~used_target:target
@@ -193,7 +210,7 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Compare FastFlip's selection against the monolithic baseline.")
-    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg)
+    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ jobs_arg)
 
 (* --- bench -------------------------------------------------------------------- *)
 
@@ -202,7 +219,7 @@ let bench_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
            ~doc:"Benchmark name (see 'fastflip list').")
   in
-  let run name bits samples =
+  let run name bits samples jobs =
     match Ff_benchmarks.Registry.find name with
     | None ->
       Printf.eprintf "unknown benchmark %s; try: %s\n" name
@@ -210,7 +227,10 @@ let bench_cmd =
       exit 1
     | Some bench ->
       let config = config_of ~bits ~samples in
-      let run = Ff_harness.Experiments.run_benchmark ~config bench in
+      let run =
+        with_jobs jobs (fun pool ->
+            Ff_harness.Experiments.run_benchmark ~config ~pool bench)
+      in
       let t =
         Table.create
           ~title:(Printf.sprintf "%s: FastFlip vs baseline analysis work" bench.Ff_benchmarks.Defs.name)
@@ -234,7 +254,7 @@ let bench_cmd =
       Table.print t
   in
   Cmd.v (Cmd.info "bench" ~doc:"Analyze a built-in benchmark across its three versions.")
-    Term.(const run $ name_arg $ bits_arg $ samples_arg)
+    Term.(const run $ name_arg $ bits_arg $ samples_arg $ jobs_arg)
 
 (* --- list ---------------------------------------------------------------------- *)
 

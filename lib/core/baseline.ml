@@ -9,8 +9,8 @@ type t = {
   work : int;
 }
 
-let analyze config ~epsilon golden =
-  let result = Campaign.run_baseline golden config in
+let analyze ?pool config ~epsilon golden =
+  let result = Campaign.run_baseline ?pool golden config in
   let valuation = Valuation.of_baseline golden ~baseline:result ~epsilon in
   let solution = Knapsack.solve (Knapsack.items_of_valuation valuation) in
   { golden; result; valuation; solution; work = result.Campaign.b_work }

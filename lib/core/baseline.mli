@@ -14,7 +14,11 @@ type t = {
   work : int;
 }
 
-val analyze : Ff_inject.Campaign.config -> epsilon:float -> Ff_vm.Golden.t -> t
+val analyze :
+  ?pool:Ff_support.Pool.t ->
+  Ff_inject.Campaign.config -> epsilon:float -> Ff_vm.Golden.t -> t
+(** With a [pool], the whole-trace campaign fans out over domains;
+    results are bit-identical to the serial run for any width. *)
 
 val revaluate : t -> epsilon:float -> t
 (** Re-label stored outcomes under a different ε (no new injections). *)

@@ -6,6 +6,7 @@ module Sensitivity = Ff_sensitivity.Sensitivity
 module Kernel = Ff_ir.Kernel
 module Hashing = Ff_support.Hashing
 module Rng = Ff_support.Rng
+module Pool = Ff_support.Pool
 
 type config = {
   campaign : Campaign.config;
@@ -82,8 +83,8 @@ let section_key config (section : Golden.section_run) =
          Hashing.value h);
   }
 
-let analyze_section config golden ~section_index ~key =
-  let campaign = Campaign.run_section golden ~section_index config.campaign in
+let analyze_section ?pool config golden ~section_index ~key =
+  let campaign = Campaign.run_section ?pool golden ~section_index config.campaign in
   let rng =
     Rng.create
       (Hashing.combine config.seed
@@ -91,8 +92,8 @@ let analyze_section config golden ~section_index ~key =
   in
   let sensitivity =
     Sensitivity.estimate ~samples:config.sensitivity_samples
-      ~max_perturbation:config.max_perturbation ~safety_factor:config.safety_factor ~rng
-      golden ~section_index
+      ~max_perturbation:config.max_perturbation ~safety_factor:config.safety_factor
+      ?pool ~rng golden ~section_index
   in
   {
     Store.rec_key = key;
@@ -101,33 +102,108 @@ let analyze_section config golden ~section_index ~key =
     rec_work = campaign.Campaign.s_work + sensitivity.Sensitivity.work;
   }
 
-let analyze ?store config program =
+(* The parallel analyze keeps the on-disk store single-writer: all
+   [Store.find]/[Store.add] calls happen on the coordinating domain, in
+   schedule order, exactly as in the serial run (including the hit/miss
+   telemetry and the reuse of a record added earlier in the same run when
+   two sections share a key). Only the cache-miss section analyses — the
+   actual campaigns and sensitivity sampling — fan out over the pool. *)
+type section_plan =
+  | Cached of Store.section_record  (* hit against the pre-existing store *)
+  | Fresh_first                     (* first section needing this key *)
+  | Fresh_dup                       (* later section sharing a missed key *)
+
+let analyze ?store ?(pool = Pool.serial) config program =
   let golden = Golden.run program in
   let dataflow = Dataflow.of_golden golden in
+  let keys = Array.map (section_key config) golden.Golden.sections in
+  (* Phase 1 (coordinating domain): one counted lookup per key; duplicate
+     misses defer their lookup to phase 3, where the serial run would
+     have found the record just added. *)
+  let missed = Hashtbl.create 16 in
+  let plan =
+    Array.map
+      (fun key ->
+        if Hashtbl.mem missed key then Fresh_dup
+        else
+          match store with
+          | Some s ->
+            (match Store.find s key with
+            | Some record -> Cached record
+            | None ->
+              Hashtbl.add missed key ();
+              Fresh_first)
+          | None ->
+            Hashtbl.add missed key ();
+            Fresh_first)
+      keys
+  in
+  (* Phase 2 (pool): analyze each missed key once, in parallel. *)
+  let miss_indices =
+    Array.of_seq
+      (Seq.filter
+         (fun i -> plan.(i) = Fresh_first)
+         (Seq.init (Array.length keys) Fun.id))
+  in
+  let analyze_one section_index =
+    analyze_section ~pool config golden ~section_index ~key:keys.(section_index)
+  in
+  let fresh =
+    (* With a single miss, leave the pool free so the section's own
+       campaign and sensitivity loops parallelize instead. *)
+    if Array.length miss_indices <= 1 then Array.map analyze_one miss_indices
+    else Pool.map_array pool analyze_one miss_indices
+  in
+  let fresh_by_key = Hashtbl.create 16 in
+  Array.iteri (fun j i -> Hashtbl.replace fresh_by_key keys.(i) fresh.(j)) miss_indices;
+  (* Phase 3 (coordinating domain): store writes and counters in schedule
+     order, bit-identical to the serial loop. *)
   let work = ref 0 in
   let total_section_work = ref 0 in
   let reused = ref 0 in
   let analyzed = ref 0 in
+  let reuse record =
+    incr reused;
+    total_section_work := !total_section_work + record.Store.rec_work
+  in
+  let charge record =
+    incr analyzed;
+    work := !work + record.Store.rec_work;
+    total_section_work := !total_section_work + record.Store.rec_work
+  in
   let sections =
     Array.mapi
-      (fun section_index (section : Golden.section_run) ->
-        let key = section_key config section in
-        let cached =
-          match store with Some s -> Store.find s key | None -> None
+      (fun section_index key ->
+        let record =
+          match plan.(section_index) with
+          | Cached record ->
+            reuse record;
+            record
+          | Fresh_first ->
+            let record = Hashtbl.find fresh_by_key key in
+            (match store with Some s -> Store.add s record | None -> ());
+            charge record;
+            record
+          | Fresh_dup ->
+            (match store with
+            | Some s ->
+              (* The serial run's lookup for this section: a hit against
+                 the record added by the Fresh_first occurrence. *)
+              (match Store.find s key with
+              | Some record ->
+                reuse record;
+                record
+              | None -> assert false)
+            | None ->
+              (* Without a store the serial run re-analyzes every section;
+                 the result is deterministic, so charging the shared
+                 record preserves both outputs and counters. *)
+              let record = Hashtbl.find fresh_by_key key in
+              charge record;
+              record)
         in
-        match cached with
-        | Some record ->
-          incr reused;
-          total_section_work := !total_section_work + record.Store.rec_work;
-          rebase_record record ~section_index
-        | None ->
-          incr analyzed;
-          let record = analyze_section config golden ~section_index ~key in
-          (match store with Some s -> Store.add s record | None -> ());
-          work := !work + record.Store.rec_work;
-          total_section_work := !total_section_work + record.Store.rec_work;
-          rebase_record record ~section_index)
-      golden.Golden.sections
+        rebase_record record ~section_index)
+      keys
   in
   let specs = Array.map (fun r -> r.Store.rec_sensitivity) sections in
   let propagation = Propagate.run golden ~specs in

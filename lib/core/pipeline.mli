@@ -35,11 +35,19 @@ type analysis = {
   sections_analyzed : int;
 }
 
-val analyze : ?store:Store.t -> config -> Ff_ir.Program.t -> analysis
+val analyze :
+  ?store:Store.t -> ?pool:Ff_support.Pool.t -> config -> Ff_ir.Program.t -> analysis
 (** Analyze one program version. With a [store], section results are
     looked up by (code, input, config) hash and new results are added,
     so analyzing a modified version after its parent re-injects only the
-    changed (and semantically affected) sections. *)
+    changed (and semantically affected) sections.
+
+    With a [pool], cache-miss sections are analyzed across domains (and a
+    lone miss parallelizes its own campaign/sensitivity loops instead).
+    The store stays single-writer: every lookup and insertion happens on
+    the coordinating domain in schedule order, so the analysis — records,
+    valuation, solution, work and reuse counters, store telemetry — is
+    bit-identical to the serial run for any pool width. *)
 
 val select : analysis -> target:float -> Knapsack.selection
 (** Knapsack selection for a fractional target v_trgt ∈ [0, 1] of this

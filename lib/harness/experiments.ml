@@ -21,11 +21,11 @@ type benchmark_run = {
 
 let standard_targets = [ 0.90; 0.95; 0.99 ]
 
-let run_version config store bench version =
+let run_version ?pool config store bench version =
   let program = Ff_lang.Frontend.compile_exn (bench.Defs.source version) in
-  let ff = Pipeline.analyze ~store config program in
+  let ff = Pipeline.analyze ~store ?pool config program in
   let base =
-    Baseline.analyze config.Pipeline.campaign ~epsilon:config.Pipeline.epsilon
+    Baseline.analyze ?pool config.Pipeline.campaign ~epsilon:config.Pipeline.epsilon
       ff.Pipeline.golden
   in
   {
@@ -44,9 +44,9 @@ let adjusted_targets_for ~ff ~ground_truth =
     standard_targets
 
 let run_benchmark ?(config = Pipeline.default_config) ?(versions = Defs.all_versions)
-    bench =
+    ?pool bench =
   let store = Fastflip.Store.create () in
-  let results = List.map (run_version config store bench) versions in
+  let results = List.map (run_version ?pool config store bench) versions in
   let adjusted_targets =
     match results with
     | [] -> List.map (fun t -> (t, t)) standard_targets

@@ -25,10 +25,13 @@ val standard_targets : float list
 val run_benchmark :
   ?config:Fastflip.Pipeline.config ->
   ?versions:Ff_benchmarks.Defs.version list ->
+  ?pool:Ff_support.Pool.t ->
   Ff_benchmarks.Defs.t ->
   benchmark_run
 (** Analyze the requested versions (default: all three) sharing one
-    incremental store; compute adjusted targets on the first version. *)
+    incremental store; compute adjusted targets on the first version.
+    [pool] parallelizes both analyses; results are identical to the
+    serial run for any pool width. *)
 
 val utility_rows :
   ?adjusted:bool -> benchmark_run -> version_result -> Fastflip.Compare.row list

@@ -1,5 +1,6 @@
 open Ff_vm
 module Hashing = Ff_support.Hashing
+module Pool = Ff_support.Pool
 
 type config = {
   bits : Site.bit_policy;
@@ -24,28 +25,32 @@ type section_result = {
   s_sites : int;
 }
 
-let run_section golden ~section_index config =
+(* Each class replay is independent; the pool maps classes to outcomes in
+   deterministic slots, and work is accumulated by summing the per-class
+   counts afterwards (never through a shared ref). *)
+let sum_work tagged = Array.fold_left (fun acc (_, w) -> acc + w) 0 tagged
+
+let run_section ?(pool = Pool.serial) golden ~section_index config =
   let section = golden.Golden.sections.(section_index) in
-  let classes = Eqclass.for_section section config.bits in
-  let work = ref 0 in
-  let results =
-    List.map
+  let class_list = Eqclass.for_section section config.bits in
+  let classes = Array.of_list class_list in
+  let tagged =
+    Pool.map_array pool
       (fun cls ->
         let injection = Site.machine_injection cls.Eqclass.pilot in
         let replay =
           Replay.run_section ~burst:config.burst golden section injection
             ~timeout_factor:config.timeout_factor
         in
-        work := !work + replay.Replay.s_executed;
-        (cls, Outcome.of_section_replay replay))
+        ((cls, Outcome.of_section_replay replay), replay.Replay.s_executed))
       classes
   in
   {
     section_index;
-    s_classes = Array.of_list results;
-    s_work = !work;
-    s_injections = List.length classes;
-    s_sites = Eqclass.total_sites classes;
+    s_classes = Array.map fst tagged;
+    s_work = sum_work tagged;
+    s_injections = Array.length classes;
+    s_sites = Eqclass.total_sites class_list;
   }
 
 type baseline_result = {
@@ -55,11 +60,11 @@ type baseline_result = {
   b_sites : int;
 }
 
-let run_baseline golden config =
-  let classes = Eqclass.for_program golden config.bits in
-  let work = ref 0 in
-  let results =
-    List.map
+let run_baseline ?(pool = Pool.serial) golden config =
+  let class_list = Eqclass.for_program golden config.bits in
+  let classes = Array.of_list class_list in
+  let tagged =
+    Pool.map_array pool
       (fun cls ->
         let injection = Site.machine_injection cls.Eqclass.pilot in
         let replay =
@@ -67,31 +72,28 @@ let run_baseline golden config =
             ~from_section:cls.Eqclass.pilot.Site.section injection
             ~timeout_factor:config.timeout_factor
         in
-        work := !work + replay.Replay.p_executed;
-        (cls, Outcome.of_program_replay replay))
+        ((cls, Outcome.of_program_replay replay), replay.Replay.p_executed))
       classes
   in
   {
-    b_classes = Array.of_list results;
-    b_work = !work;
-    b_injections = List.length classes;
-    b_sites = Eqclass.total_sites classes;
+    b_classes = Array.map fst tagged;
+    b_work = sum_work tagged;
+    b_injections = Array.length classes;
+    b_sites = Eqclass.total_sites class_list;
   }
 
-let final_outcomes_for_section golden ~section_index config =
+let final_outcomes_for_section ?(pool = Pool.serial) golden ~section_index config =
   let section = golden.Golden.sections.(section_index) in
-  let classes = Eqclass.for_section section config.bits in
-  let work = ref 0 in
-  let results =
-    List.map
+  let classes = Array.of_list (Eqclass.for_section section config.bits) in
+  let tagged =
+    Pool.map_array pool
       (fun cls ->
         let injection = Site.machine_injection cls.Eqclass.pilot in
         let replay =
           Replay.run_to_end ~burst:config.burst golden ~from_section:section_index
             injection ~timeout_factor:config.timeout_factor
         in
-        work := !work + replay.Replay.p_executed;
-        (cls, Outcome.of_program_replay replay))
+        ((cls, Outcome.of_program_replay replay), replay.Replay.p_executed))
       classes
   in
-  (Array.of_list results, !work)
+  (Array.map fst tagged, sum_work tagged)

@@ -4,7 +4,13 @@
     records the outcome for the whole class. Work is metered in dynamic
     instructions simulated — the deterministic stand-in for the paper's
     core-hours (error injection accounts for 99% of FastFlip's analysis
-    time, §6.2). *)
+    time, §6.2).
+
+    Every replay is independent of every other, so campaigns accept an
+    optional {!Ff_support.Pool.t} and fan the classes out across domains.
+    Results are bit-identical to the serial run for any pool width:
+    outcomes land in class-enumeration order and work counters are summed
+    from per-class counts. *)
 
 type config = {
   bits : Site.bit_policy;
@@ -29,7 +35,8 @@ type section_result = {
   s_sites : int;       (** |J_s| covered (class members) *)
 }
 
-val run_section : Ff_vm.Golden.t -> section_index:int -> config -> section_result
+val run_section :
+  ?pool:Ff_support.Pool.t -> Ff_vm.Golden.t -> section_index:int -> config -> section_result
 (** FastFlip's per-section campaign: each pilot runs the section in
     isolation from its golden entry state. *)
 
@@ -40,12 +47,13 @@ type baseline_result = {
   b_sites : int;
 }
 
-val run_baseline : Ff_vm.Golden.t -> config -> baseline_result
+val run_baseline : ?pool:Ff_support.Pool.t -> Ff_vm.Golden.t -> config -> baseline_result
 (** The monolithic Approxilyzer-style campaign: whole-trace equivalence
     classes, each pilot runs from its section's entry state through the
     end of the program. *)
 
 val final_outcomes_for_section :
+  ?pool:Ff_support.Pool.t ->
   Ff_vm.Golden.t -> section_index:int -> config -> (Eqclass.t * Outcome.final_outcome) array * int
 (** End-to-end outcomes for the sites of one section using FastFlip's
     per-section classes (used when FastFlip runs the ground-truth labels

@@ -2,6 +2,7 @@ open Ff_ir
 open Ff_vm
 module Rng = Ff_support.Rng
 module Hashing = Ff_support.Hashing
+module Pool = Ff_support.Pool
 
 type t = {
   section_index : int;
@@ -48,63 +49,98 @@ let perturb_element rng max_perturbation arr i =
     arr.(i) <- Value.Int (Int64.add x (Int64.of_int !delta));
     Float.abs (float_of_int !delta)
 
-let estimate ?(samples = 200) ?(max_perturbation = 0.01) ?(safety_factor = 1.25) ~rng
-    golden ~section_index =
+(* The sample loop is split into fixed-size chunks, each drawing from its
+   own generator derived from (base seed, input index, chunk index). The
+   derivation does not depend on how chunks are scheduled, so the estimate
+   is identical for every pool width — including the serial path, which
+   uses the exact same chunking. *)
+let sample_chunk = 25
+
+let estimate ?(samples = 200) ?(max_perturbation = 0.01) ?(safety_factor = 1.25)
+    ?(pool = Pool.serial) ~rng golden ~section_index =
   let section = golden.Golden.sections.(section_index) in
   let inputs = Array.of_list (readable_buffers section) in
   let outputs = Array.of_list (writable_buffers section) in
   let golden_exit = Golden.exit_state golden section_index in
   let k = Array.make_matrix (Array.length outputs) (Array.length inputs) 0.0 in
-  let work = ref 0 in
   let budget =
     max 16 (int_of_float (ceil (5.0 *. float_of_int section.Golden.dyn_count)))
   in
+  (* Advances the caller's generator exactly once, whatever the chunking. *)
+  let base = Rng.int64 rng in
+  let chunks_per_input = (samples + sample_chunk - 1) / sample_chunk in
+  let tasks =
+    Array.init
+      (Array.length inputs * chunks_per_input)
+      (fun t -> (t / chunks_per_input, t mod chunks_per_input))
+  in
+  let run_task (i_idx, chunk_index) =
+    let input_buf = inputs.(i_idx) in
+    let rng =
+      Rng.create
+        (Hashing.combine base
+           (Int64.of_int ((i_idx * chunks_per_input) + chunk_index)))
+    in
+    let count = min sample_chunk (samples - (chunk_index * sample_chunk)) in
+    let col = Array.make (Array.length outputs) 0.0 in
+    let work = ref 0 in
+    for _ = 1 to count do
+      let state = Array.map Array.copy section.Golden.entry_state in
+      let target = state.(input_buf) in
+      let n = Array.length target in
+      (* Single element, a random subset, or all elements (§5.6). *)
+      let mode = Rng.int rng 3 in
+      (match mode with
+      | 0 -> ignore (perturb_element rng max_perturbation target (Rng.int rng n))
+      | 1 ->
+        let count = 1 + Rng.int rng (max 1 (n / 2)) in
+        for _ = 1 to count do
+          ignore (perturb_element rng max_perturbation target (Rng.int rng n))
+        done
+      | _ ->
+        for e = 0 to n - 1 do
+          ignore (perturb_element rng max_perturbation target e)
+        done);
+      (* |Δi| is the realized perturbation (an element hit twice
+         accumulates), not the largest single nudge. *)
+      let delta = ref (buffer_distance section.Golden.entry_state.(input_buf) target) in
+      let buffers = Array.map (fun (idx, _) -> state.(idx)) section.Golden.bindings in
+      let run =
+        Machine.exec section.Golden.kernel ~scalars:section.Golden.scalars ~buffers
+          ~budget ()
+      in
+      work := !work + run.Machine.executed;
+      match run.Machine.status with
+      | Machine.Finished ->
+        Array.iteri
+          (fun o_idx output_buf ->
+            (* For an inout buffer perturbed directly, measure against the
+               perturbed-input baseline only through the golden exit: the
+               ratio |s(x+δ) - s(x)| / |δ| of Equation 1. *)
+            let d_out = buffer_distance golden_exit.(output_buf) state.(output_buf) in
+            let ratio = d_out /. !delta in
+            if Float.is_nan ratio then ()
+            else if ratio > col.(o_idx) then col.(o_idx) <- ratio)
+          outputs
+      | Machine.Trapped _ | Machine.Out_of_budget ->
+        (* A tiny input perturbation changed the section's fate: no
+           finite amplification bound holds. *)
+        Array.iteri (fun o_idx _ -> col.(o_idx) <- infinity) outputs
+    done;
+    (col, !work)
+  in
+  let parts = Pool.map_array pool run_task tasks in
+  let work = ref 0 in
+  (* Merging by max is order-independent; summing work in task order keeps
+     the counter identical to the serial run. *)
   Array.iteri
-    (fun i_idx input_buf ->
-      for _ = 1 to samples do
-        let state = Array.map Array.copy section.Golden.entry_state in
-        let target = state.(input_buf) in
-        let n = Array.length target in
-        (* Single element, a random subset, or all elements (§5.6). *)
-        let mode = Rng.int rng 3 in
-        (match mode with
-        | 0 -> ignore (perturb_element rng max_perturbation target (Rng.int rng n))
-        | 1 ->
-          let count = 1 + Rng.int rng (max 1 (n / 2)) in
-          for _ = 1 to count do
-            ignore (perturb_element rng max_perturbation target (Rng.int rng n))
-          done
-        | _ ->
-          for e = 0 to n - 1 do
-            ignore (perturb_element rng max_perturbation target e)
-          done);
-        (* |Δi| is the realized perturbation (an element hit twice
-           accumulates), not the largest single nudge. *)
-        let delta = ref (buffer_distance section.Golden.entry_state.(input_buf) target) in
-        let buffers = Array.map (fun (idx, _) -> state.(idx)) section.Golden.bindings in
-        let run =
-          Machine.exec section.Golden.kernel ~scalars:section.Golden.scalars ~buffers
-            ~budget ()
-        in
-        work := !work + run.Machine.executed;
-        (match run.Machine.status with
-        | Machine.Finished ->
-          Array.iteri
-            (fun o_idx output_buf ->
-              (* For an inout buffer perturbed directly, measure against the
-                 perturbed-input baseline only through the golden exit: the
-                 ratio |s(x+δ) - s(x)| / |δ| of Equation 1. *)
-              let d_out = buffer_distance golden_exit.(output_buf) state.(output_buf) in
-              let ratio = d_out /. !delta in
-              if Float.is_nan ratio then ()
-              else if ratio > k.(o_idx).(i_idx) then k.(o_idx).(i_idx) <- ratio)
-            outputs
-        | Machine.Trapped _ | Machine.Out_of_budget ->
-          (* A tiny input perturbation changed the section's fate: no
-             finite amplification bound holds. *)
-          Array.iteri (fun o_idx _ -> k.(o_idx).(i_idx) <- infinity) outputs)
-      done)
-    inputs;
+    (fun t (col, w) ->
+      let i_idx, _ = tasks.(t) in
+      work := !work + w;
+      Array.iteri
+        (fun o_idx v -> if v > k.(o_idx).(i_idx) then k.(o_idx).(i_idx) <- v)
+        col)
+    parts;
   Array.iter
     (fun row ->
       Array.iteri (fun i v -> if Float.is_finite v then row.(i) <- v *. safety_factor) row)

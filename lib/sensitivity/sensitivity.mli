@@ -31,12 +31,18 @@ val estimate :
   ?samples:int ->
   ?max_perturbation:float ->
   ?safety_factor:float ->
+  ?pool:Ff_support.Pool.t ->
   rng:Ff_support.Rng.t ->
   Ff_vm.Golden.t ->
   section_index:int ->
   t
 (** Defaults: 200 samples per input buffer, max perturbation 0.01 (the
-    paper's ε), safety factor 1.25. *)
+    paper's ε), safety factor 1.25.
+
+    The sample loop runs in fixed-size chunks, each seeded from [rng]'s
+    next output combined with the (input, chunk) index — never from the
+    scheduling — so the estimate is identical for every [pool] width
+    (including no pool). [rng] advances exactly once per call. *)
 
 val amplification : t -> output:int -> input:int -> float
 (** K for a (program-buffer, program-buffer) pair; 0 when the output does

@@ -1,0 +1,135 @@
+type t = {
+  width : int;
+  mutable workers : unit Domain.t array;
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : (unit -> unit) option;  (* chunk runner of the current map *)
+  mutable generation : int;             (* bumped once per map_array *)
+  mutable remaining : int;              (* workers still inside the current job *)
+  mutable stop : bool;
+  busy : bool Atomic.t;                 (* reentrancy / cross-domain guard *)
+}
+
+let rec worker_loop t gen =
+  Mutex.lock t.lock;
+  while (not t.stop) && t.generation = gen do
+    Condition.wait t.work_ready t.lock
+  done;
+  if t.stop then Mutex.unlock t.lock
+  else begin
+    let gen = t.generation in
+    let job = Option.get t.job in
+    Mutex.unlock t.lock;
+    job ();
+    Mutex.lock t.lock;
+    t.remaining <- t.remaining - 1;
+    if t.remaining = 0 then Condition.broadcast t.work_done;
+    Mutex.unlock t.lock;
+    worker_loop t gen
+  end
+
+let create ~domains =
+  if domains < 1 || domains > 128 then
+    invalid_arg "Pool.create: domains must be in [1, 128]";
+  let t =
+    {
+      width = domains;
+      workers = [||];
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      remaining = 0;
+      stop = false;
+      busy = Atomic.make false;
+    }
+  in
+  t.workers <- Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let serial = create ~domains:1
+
+let domains t = t.width
+
+let shutdown t =
+  let workers =
+    Mutex.lock t.lock;
+    t.stop <- true;
+    Condition.broadcast t.work_ready;
+    let w = t.workers in
+    t.workers <- [||];
+    Mutex.unlock t.lock;
+    w
+  in
+  Array.iter Domain.join workers
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let default_domains () =
+  let clamp n = min 128 (max 1 n) in
+  let recommended () = clamp (Domain.recommended_domain_count ()) in
+  match Sys.getenv_opt "FF_DOMAINS" with
+  | None -> recommended ()
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> clamp n
+    | Some _ | None -> recommended ())
+
+let map_array ?chunk t f arr =
+  let n = Array.length arr in
+  (match chunk with
+  | Some c when c <= 0 -> invalid_arg "Pool.map_array: chunk must be positive"
+  | Some _ | None -> ());
+  let workers = t.workers in
+  if n = 0 || Array.length workers = 0
+     || not (Atomic.compare_and_set t.busy false true)
+  then Array.map f arr
+  else
+    Fun.protect ~finally:(fun () -> Atomic.set t.busy false) @@ fun () ->
+    let chunk =
+      match chunk with Some c -> c | None -> max 1 (n / (4 * t.width))
+    in
+    (* Result slot [i] belongs to input [i]: ordering never depends on the
+       schedule. Slots are filled exactly once, so [Some]-unwrapping below
+       cannot fail on the success path. *)
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let error = Atomic.make None in
+    let run_chunks () =
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= n || Atomic.get error <> None then continue := false
+        else begin
+          let stop = min n (start + chunk) in
+          try
+            for i = start to stop - 1 do
+              results.(i) <- Some (f arr.(i))
+            done
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set error None (Some (e, bt)));
+            continue := false
+        end
+      done
+    in
+    Mutex.lock t.lock;
+    t.job <- Some run_chunks;
+    t.generation <- t.generation + 1;
+    t.remaining <- Array.length workers;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.lock;
+    run_chunks ();
+    Mutex.lock t.lock;
+    while t.remaining > 0 do
+      Condition.wait t.work_done t.lock
+    done;
+    t.job <- None;
+    Mutex.unlock t.lock;
+    match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> Array.map (function Some v -> v | None -> assert false) results

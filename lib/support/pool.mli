@@ -1,0 +1,61 @@
+(** A reusable work pool on OCaml 5 domains (stdlib only).
+
+    The injection campaigns, the per-section pipeline loop, and the
+    sensitivity sampler are all embarrassingly parallel: thousands of
+    independent VM replays whose results are merged in a fixed order.
+    This pool runs such workloads across domains while guaranteeing that
+    the observable result is {e bit-identical} to the serial run:
+
+    {ul
+    {- {!map_array} writes the result of element [i] into slot [i]
+       regardless of which domain computed it or in which order chunks
+       were claimed;}
+    {- chunks are self-scheduled from an atomic index counter, so the
+       schedule never influences the output, only the wall-clock;}
+    {- an exception raised by any worker is captured, the remaining
+       chunks are abandoned, and the (first) exception is re-raised on
+       the calling domain with its backtrace.}}
+
+    {b Reentrancy}: a [map_array] issued while the pool is already
+    running one (e.g. a section campaign nested inside a parallel
+    pipeline loop, or a call from another domain) degrades to serial
+    execution on the calling domain. This keeps nested use safe and
+    deterministic; it simply adds no further parallelism. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains - 1] worker domains ([map_array]
+    also runs chunks on the calling domain, so [domains] is the true
+    parallel width). [domains <= 1] spawns nothing: every [map_array]
+    is then exactly [Array.map]. Raises [Invalid_argument] for
+    [domains < 1] or [domains > 128]. *)
+
+val serial : t
+(** A shared width-1 pool (no worker domains, no shutdown needed) —
+    the default for every [?pool] argument in the analysis. *)
+
+val domains : t -> int
+(** The parallel width the pool was created with. *)
+
+val map_array : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f arr] is observably [Array.map f arr]. [chunk]
+    (default: [length / (4 * domains)], at least 1) is the number of
+    consecutive elements claimed per scheduling step; any positive
+    value yields the same result. Raises [Invalid_argument] on
+    [chunk <= 0]. [f] must not depend on evaluation order; it runs
+    concurrently on up to [domains] domains. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains. Idempotent. Using
+    [map_array] after shutdown falls back to serial execution. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] creates a pool, applies [f], and shuts the
+    pool down (also on exception). *)
+
+val default_domains : unit -> int
+(** The parallel width to use when the user gave none: the [FF_DOMAINS]
+    environment variable if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]; clamped to [create]'s
+    accepted range. *)

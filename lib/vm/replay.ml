@@ -22,12 +22,19 @@ type program_replay = {
 let budget_of ~timeout_factor dyn_count =
   max 16 (int_of_float (ceil (timeout_factor *. float_of_int dyn_count)))
 
-let buffer_distance golden actual =
+(* [stop_at] is the caller's SDC threshold: once the running worst
+   exceeds it the exact magnitude no longer matters, so the scan stops.
+   The returned value is then only a witness that the threshold was
+   crossed, not the true maximum. *)
+let buffer_distance ?stop_at golden actual =
+  let limit = match stop_at with None -> infinity | Some s -> s in
   let worst = ref 0.0 in
   let n = Array.length golden in
-  for i = 0 to n - 1 do
-    let d = Value.abs_diff golden.(i) actual.(i) in
-    if d > !worst then worst := d
+  let i = ref 0 in
+  while !i < n && !worst <= limit do
+    let d = Value.abs_diff golden.(!i) actual.(!i) in
+    if d > !worst then worst := d;
+    incr i
   done;
   !worst
 
@@ -74,7 +81,7 @@ let run_section ?(burst = 1) golden (section : Golden.section_run) injection ~ti
       let rec scan i =
         if i >= nbufs then false
         else if List.mem i writable_buf_indices then scan (i + 1)
-        else if buffer_distance golden_exit.(i) state.(i) > 0.0 then true
+        else if buffer_distance ~stop_at:0.0 golden_exit.(i) state.(i) > 0.0 then true
         else scan (i + 1)
       in
       scan 0

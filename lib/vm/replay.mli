@@ -16,6 +16,15 @@ type anomaly =
   | Trap of Machine.trap
   | Timeout
 
+val buffer_distance :
+  ?stop_at:float -> Ff_ir.Value.t array -> Ff_ir.Value.t array -> float
+(** [buffer_distance golden actual] is the largest element-wise |Δ|
+    between the two buffers. With [stop_at], the scan stops as soon as
+    the running worst exceeds it — callers that only test
+    [distance > threshold] (e.g. the side-effect scan) avoid reading the
+    rest of the buffer; the early-exited value is only guaranteed to be
+    on the same side of [stop_at] as the true maximum. *)
+
 type section_replay = {
   s_anomaly : anomaly option;
   s_output_sdc : (int * float) array;

@@ -176,6 +176,68 @@ let test_epsilon_good_relabeling () =
   Alcotest.(check bool) "SDC-Good shrinks (or keeps) the value mass" true
     (relaxed <= strict)
 
+(* --- parallel determinism ----------------------------------------------------- *)
+
+(* NaNs can appear in outcome SDC magnitudes; [compare] equates them
+   where [=] would not. *)
+let structurally_equal a b = Stdlib.compare a b = 0
+
+(* The pool invariant: for any domain count, the analysis — valuation,
+   knapsack solution, campaign outcome arrays, and every work counter —
+   is bit-identical to the serial run. *)
+let test_parallel_analysis_deterministic () =
+  List.iter
+    (fun name ->
+      let bench = Option.get (Registry.find name) in
+      let program = Frontend.compile_exn (bench.Defs.source Defs.V_none) in
+      let serial = Pipeline.analyze quick_config program in
+      List.iter
+        (fun domains ->
+          Ff_support.Pool.with_pool ~domains (fun pool ->
+              let par = Pipeline.analyze ~pool quick_config program in
+              let ctx fmt = Printf.sprintf "%s @%d domains: %s" name domains fmt in
+              Alcotest.(check bool) (ctx "valuation") true
+                (structurally_equal serial.Pipeline.valuation par.Pipeline.valuation);
+              Alcotest.(check bool) (ctx "knapsack solution") true
+                (structurally_equal serial.Pipeline.solution par.Pipeline.solution);
+              Alcotest.(check bool) (ctx "section records") true
+                (structurally_equal serial.Pipeline.sections par.Pipeline.sections);
+              Alcotest.(check int) (ctx "work") serial.Pipeline.work par.Pipeline.work;
+              Alcotest.(check int) (ctx "total section work")
+                serial.Pipeline.total_section_work par.Pipeline.total_section_work;
+              Alcotest.(check int) (ctx "sections analyzed")
+                serial.Pipeline.sections_analyzed par.Pipeline.sections_analyzed))
+        [ 1; 2; 4 ])
+    [ "BScholes"; "LUD" ]
+
+let test_parallel_campaigns_deterministic () =
+  let bench = Option.get (Registry.find "BScholes") in
+  let program = Frontend.compile_exn (bench.Defs.source Defs.V_none) in
+  let golden = Golden.run program in
+  let config = quick_config.Pipeline.campaign in
+  let serial_sections =
+    Array.init (Array.length golden.Golden.sections) (fun i ->
+        Campaign.run_section golden ~section_index:i config)
+  in
+  let serial_baseline = Campaign.run_baseline golden config in
+  List.iter
+    (fun domains ->
+      Ff_support.Pool.with_pool ~domains (fun pool ->
+          let par_sections =
+            Array.init (Array.length golden.Golden.sections) (fun i ->
+                Campaign.run_section ~pool golden ~section_index:i config)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "section outcomes @%d domains" domains)
+            true
+            (structurally_equal serial_sections par_sections);
+          let par_baseline = Campaign.run_baseline ~pool golden config in
+          Alcotest.(check bool)
+            (Printf.sprintf "baseline outcomes @%d domains" domains)
+            true
+            (structurally_equal serial_baseline par_baseline)))
+    [ 2; 4 ]
+
 let test_deterministic_end_to_end () =
   let r1 = run_bscholes () in
   let r2 = run_bscholes () in
@@ -209,5 +271,12 @@ let () =
           Alcotest.test_case "cost monotone in target" `Quick test_costs_increase_with_target;
           Alcotest.test_case "epsilon relabeling" `Quick test_epsilon_good_relabeling;
           Alcotest.test_case "deterministic" `Quick test_deterministic_end_to_end;
+        ] );
+      ( "parallel determinism",
+        [
+          Alcotest.test_case "analysis identical across domain counts" `Quick
+            test_parallel_analysis_deterministic;
+          Alcotest.test_case "campaign outcomes identical across domain counts" `Quick
+            test_parallel_campaigns_deterministic;
         ] );
     ]

@@ -1,11 +1,13 @@
 (* Unit and property tests for the support library: deterministic RNG,
-   bit manipulation, statistics, hashing, and table rendering. *)
+   bit manipulation, statistics, hashing, table rendering, and the
+   domain work pool. *)
 
 module Rng = Ff_support.Rng
 module Bits = Ff_support.Bits
 module Stats = Ff_support.Stats
 module Hashing = Ff_support.Hashing
 module Table = Ff_support.Table
+module Pool = Ff_support.Pool
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -216,6 +218,92 @@ let test_table_alignment () =
   let s = Table.render t in
   Alcotest.(check bool) "right aligned" true (contains s "|    1 |")
 
+(* --- pool --------------------------------------------------------------- *)
+
+let test_pool_matches_array_map_under_chunkings () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let n = 100 in
+      let arr = Array.init n (fun i -> i) in
+      let f x = (x * 37) + (x mod 5) in
+      let expected = Array.map f arr in
+      (* Adversarial chunk sizes: 1, n-1, n, > n, and the default. *)
+      List.iter
+        (fun chunk ->
+          let got =
+            match chunk with
+            | Some c -> Pool.map_array ~chunk:c pool f arr
+            | None -> Pool.map_array pool f arr
+          in
+          Alcotest.(check (array int))
+            (Printf.sprintf "chunk %s"
+               (match chunk with Some c -> string_of_int c | None -> "default"))
+            expected got)
+        [ Some 1; Some (n - 1); Some n; Some (n + 13); None ])
+
+let test_pool_empty_and_singleton () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check (array int)) "empty" [||] (Pool.map_array pool (fun x -> x) [||]);
+      Alcotest.(check (array int)) "singleton" [| 42 |]
+        (Pool.map_array pool (fun x -> x * 2) [| 21 |]))
+
+let test_pool_serial_fallback () =
+  (* The shared width-1 pool spawns no domains and is exactly Array.map. *)
+  Alcotest.(check int) "serial width" 1 (Pool.domains Pool.serial);
+  Alcotest.(check (array int)) "serial map" [| 2; 4; 6 |]
+    (Pool.map_array Pool.serial (fun x -> 2 * x) [| 1; 2; 3 |])
+
+exception Boom of int
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let arr = Array.init 64 Fun.id in
+      (match Pool.map_array ~chunk:1 pool (fun x -> if x = 50 then raise (Boom x) else x) arr with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom 50 -> ());
+      (* The pool survives a failed map and keeps producing correct results. *)
+      Alcotest.(check (array int)) "pool still works" (Array.map succ arr)
+        (Pool.map_array pool succ arr))
+
+let test_pool_reentrant_degrades_to_serial () =
+  (* A nested map on the busy pool must complete correctly (documented to
+     run serially on the calling domain). *)
+  Pool.with_pool ~domains:2 (fun pool ->
+      let outer = Array.init 8 Fun.id in
+      let expected = Array.map (fun i -> 10 * i) outer in
+      let got =
+        Pool.map_array pool
+          (fun i ->
+            Array.fold_left ( + ) 0
+              (Pool.map_array pool (fun j -> if j = i then 10 * i else 0) outer))
+          outer
+      in
+      Alcotest.(check (array int)) "nested map correct" expected got)
+
+let test_pool_rejects_bad_arguments () =
+  Alcotest.check_raises "chunk 0" (Invalid_argument "Pool.map_array: chunk must be positive")
+    (fun () -> ignore (Pool.map_array ~chunk:0 Pool.serial Fun.id [| 1 |]));
+  Alcotest.check_raises "domains 0" (Invalid_argument "Pool.create: domains must be in [1, 128]")
+    (fun () -> ignore (Pool.create ~domains:0))
+
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~domains:3 in
+  Alcotest.(check (array int)) "before shutdown" [| 1; 2; 3 |]
+    (Pool.map_array pool Fun.id [| 1; 2; 3 |]);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* After shutdown, maps fall back to serial execution. *)
+  Alcotest.(check (array int)) "after shutdown" [| 2; 3; 4 |]
+    (Pool.map_array pool succ [| 1; 2; 3 |])
+
+let pool_map_property =
+  QCheck.Test.make ~count:100 ~name:"Pool.map_array ≡ Array.map"
+    QCheck.(pair (list int) (int_range 1 17))
+    (fun (xs, chunk) ->
+      let arr = Array.of_list xs in
+      let f x = (x * 31) lxor 0x55 in
+      Pool.with_pool ~domains:3 (fun pool ->
+          Pool.map_array ~chunk pool f arr = Array.map f arr))
+
 let () =
   Alcotest.run "support"
     [
@@ -264,5 +352,18 @@ let () =
           Alcotest.test_case "renders all cells" `Quick test_table_renders_all_cells;
           Alcotest.test_case "arity check" `Quick test_table_arity_check;
           Alcotest.test_case "alignment" `Quick test_table_alignment;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "ordering under chunkings" `Quick
+            test_pool_matches_array_map_under_chunkings;
+          Alcotest.test_case "empty and singleton" `Quick test_pool_empty_and_singleton;
+          Alcotest.test_case "serial fallback" `Quick test_pool_serial_fallback;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "reentrancy is serial" `Quick
+            test_pool_reentrant_degrades_to_serial;
+          Alcotest.test_case "argument validation" `Quick test_pool_rejects_bad_arguments;
+          Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+          QCheck_alcotest.to_alcotest pool_map_property;
         ] );
     ]
