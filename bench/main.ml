@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks only
      dune exec bench/main.exe -- quick        # tables on a 4-bit subset (fast)
      dune exec bench/main.exe -- parallel     # serial-vs-parallel wall-clock
+     dune exec bench/main.exe -- quick --metrics mx.json   # telemetry export
 
    Campaigns and sensitivity sampling run on FF_DOMAINS domains (default:
    the recommended domain count); every artifact is bit-identical to the
@@ -20,6 +21,7 @@ module Pipeline = Fastflip.Pipeline
 module Campaign = Ff_inject.Campaign
 module Site = Ff_inject.Site
 module Pool = Ff_support.Pool
+module Telemetry = Ff_support.Telemetry
 
 let quick_config =
   {
@@ -306,8 +308,24 @@ let run_artifact config name f =
   let (), s = wall (fun () -> f config) in
   table_timings := !table_timings @ [ (name, s) ]
 
+(* --metrics FILE: enable the telemetry registry for the whole run and
+   export it as JSON at exit. *)
+let rec split_metrics = function
+  | [] -> (None, [])
+  | "--metrics" :: path :: rest ->
+    let _, others = split_metrics rest in
+    (Some path, others)
+  | arg :: rest ->
+    let metrics, others = split_metrics rest in
+    (metrics, arg :: others)
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let metrics, args = split_metrics (Array.to_list Sys.argv |> List.tl) in
+  (match metrics with
+  | Some _ ->
+    Telemetry.reset ();
+    Telemetry.set_enabled true
+  | None -> ());
   let quick = List.mem "quick" args in
   let config = if quick then quick_config else Pipeline.default_config in
   let requested =
@@ -327,4 +345,9 @@ let () =
         else run_artifact config name (List.assoc name artifacts))
       names);
   emit_parallel_json ~quick ();
+  (match metrics with
+  | Some path ->
+    Telemetry.write ~path ();
+    Printf.printf "wrote telemetry to %s\n%!" path
+  | None -> ());
   if Lazy.is_val pool then Pool.shutdown (Lazy.force pool)

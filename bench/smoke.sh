@@ -3,7 +3,35 @@
 # 2 domains, so the parallel campaign/pipeline/sensitivity paths are
 # exercised (and verified bit-identical) in tier-1-style verification.
 # Also available as a dune alias: dune build @bench-quick
+#
+# Exits nonzero if the bench itself fails, if the serial-vs-parallel
+# identical-results check fails, or if BENCH_parallel.json is missing or
+# malformed — so CI catches a silently broken bench, not just a crashed one.
 set -eu
 cd "$(dirname "$0")/.."
+
+fail() {
+  echo "bench/smoke.sh: $1" >&2
+  exit 1
+}
+
 dune build bench/main.exe
-FF_DOMAINS=2 dune exec bench/main.exe -- quick parallel table3
+
+rm -f BENCH_parallel.json
+# main.exe exits nonzero itself when the parallel run diverges from serial.
+FF_DOMAINS=2 dune exec bench/main.exe -- quick parallel table3 \
+  --metrics BENCH_metrics.json
+
+[ -s BENCH_parallel.json ] || fail "BENCH_parallel.json missing or empty"
+grep -q '"phases"' BENCH_parallel.json || fail "BENCH_parallel.json malformed: no \"phases\" key"
+grep -q '"tables"' BENCH_parallel.json || fail "BENCH_parallel.json malformed: no \"tables\" key"
+tail -c 3 BENCH_parallel.json | grep -q '}' || fail "BENCH_parallel.json malformed: truncated"
+if grep -q '"identical": false' BENCH_parallel.json; then
+  fail "serial-vs-parallel identical-results check failed"
+fi
+grep -q '"identical": true' BENCH_parallel.json || fail "no identical-results phases recorded"
+
+[ -s BENCH_metrics.json ] || fail "BENCH_metrics.json missing or empty"
+grep -q '"campaign.injections"' BENCH_metrics.json || fail "BENCH_metrics.json malformed: no campaign counters"
+
+echo "bench/smoke.sh: ok (parallel results identical, artifacts well-formed)"

@@ -16,6 +16,7 @@ module Campaign = Ff_inject.Campaign
 module Site = Ff_inject.Site
 module Table = Ff_support.Table
 module Pool = Ff_support.Pool
+module Telemetry = Ff_support.Telemetry
 
 let read_file path =
   let ic = open_in_bin path in
@@ -68,8 +69,29 @@ let jobs_arg =
          ~doc:"Domains to run injection campaigns and sensitivity sampling on               (default: \\$FF_DOMAINS, else the recommended domain count).               Results are bit-identical for every N.")
 
 let with_jobs jobs k =
-  let jobs = min 128 (max 1 jobs) in
+  let jobs =
+    match Pool.parse_domains (string_of_int jobs) with
+    | Ok n -> n
+    | Error msg ->
+      Printf.eprintf "fastflip: invalid --jobs (%s); running on 1 domain\n%!" msg;
+      1
+  in
   Pool.with_pool ~domains:jobs k
+
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write engine telemetry (campaign injection counts, store               hit/miss counts, pool task counts, span timings) as deterministic               JSON to $(docv). Timing and scheduling-dependent fields are               segregated under the top-level \\\"timings\\\" key; everything else is               bit-stable across runs with the same seed.")
+
+let with_metrics metrics k =
+  match metrics with
+  | None -> k ()
+  | Some path ->
+    Telemetry.reset ();
+    Telemetry.set_enabled true;
+    let result = k () in
+    Telemetry.write ~path ();
+    Printf.printf "wrote telemetry to %s\n" path;
+    result
 
 let store_arg =
   Arg.(value & opt (some string) None & info [ "store" ] ~docv:"PATH"
@@ -131,12 +153,14 @@ let run_cmd =
 (* --- analyze ---------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run path target bits samples epsilon store_path jobs =
+  let run path target bits samples epsilon store_path jobs metrics =
     let config = { (config_of ~bits ~samples) with Pipeline.epsilon } in
     let program = compile_file path in
     let analysis =
-      with_jobs jobs (fun pool ->
-          with_store store_path (fun store -> Pipeline.analyze ~store ~pool config program))
+      with_metrics metrics (fun () ->
+          with_jobs jobs (fun pool ->
+              with_store store_path (fun store ->
+                  Pipeline.analyze ~store ~pool config program)))
     in
     Printf.printf "sections reused from the store: %d/%d\n"
       analysis.Pipeline.sections_reused
@@ -178,22 +202,23 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the full FastFlip analysis on a program and print the selection.")
-    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ store_arg $ jobs_arg)
+    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ store_arg $ jobs_arg $ metrics_arg)
 
 (* --- compare ----------------------------------------------------------------- *)
 
 let compare_cmd =
-  let run path target bits samples epsilon jobs =
+  let run path target bits samples epsilon jobs metrics =
     let config = { (config_of ~bits ~samples) with Pipeline.epsilon } in
     let program = compile_file path in
     let ff, base =
-      with_jobs jobs (fun pool ->
-          let ff = Pipeline.analyze ~pool config program in
-          let base =
-            Fastflip.Baseline.analyze ~pool config.Pipeline.campaign ~epsilon
-              ff.Pipeline.golden
-          in
-          (ff, base))
+      with_metrics metrics (fun () ->
+          with_jobs jobs (fun pool ->
+              let ff = Pipeline.analyze ~pool config program in
+              let base =
+                Fastflip.Baseline.analyze ~pool config.Pipeline.campaign ~epsilon
+                  ff.Pipeline.golden
+              in
+              (ff, base)))
     in
     let row =
       Fastflip.Compare.row ~ff ~base ~inaccuracy:0.04 ~target ~used_target:target
@@ -210,7 +235,7 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Compare FastFlip's selection against the monolithic baseline.")
-    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ jobs_arg)
+    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ jobs_arg $ metrics_arg)
 
 (* --- bench -------------------------------------------------------------------- *)
 
@@ -219,7 +244,7 @@ let bench_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
            ~doc:"Benchmark name (see 'fastflip list').")
   in
-  let run name bits samples jobs =
+  let run name bits samples jobs metrics =
     match Ff_benchmarks.Registry.find name with
     | None ->
       Printf.eprintf "unknown benchmark %s; try: %s\n" name
@@ -228,8 +253,9 @@ let bench_cmd =
     | Some bench ->
       let config = config_of ~bits ~samples in
       let run =
-        with_jobs jobs (fun pool ->
-            Ff_harness.Experiments.run_benchmark ~config ~pool bench)
+        with_metrics metrics (fun () ->
+            with_jobs jobs (fun pool ->
+                Ff_harness.Experiments.run_benchmark ~config ~pool bench))
       in
       let t =
         Table.create
@@ -254,7 +280,7 @@ let bench_cmd =
       Table.print t
   in
   Cmd.v (Cmd.info "bench" ~doc:"Analyze a built-in benchmark across its three versions.")
-    Term.(const run $ name_arg $ bits_arg $ samples_arg $ jobs_arg)
+    Term.(const run $ name_arg $ bits_arg $ samples_arg $ jobs_arg $ metrics_arg)
 
 (* --- list ---------------------------------------------------------------------- *)
 

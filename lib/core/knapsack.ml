@@ -1,4 +1,11 @@
 module Site = Ff_inject.Site
+module Telemetry = Ff_support.Telemetry
+
+let m_solves = Telemetry.counter "knapsack.solves"
+let m_items = Telemetry.counter "knapsack.items"
+let m_dp_cells = Telemetry.counter "knapsack.dp_cells"
+let m_take_bytes = Telemetry.counter "knapsack.take_bytes"
+let h_dp_cells = Telemetry.histogram "knapsack.dp_cells_per_solve"
 
 type item = {
   pc : Site.pc;
@@ -22,6 +29,7 @@ let bit_set bytes v =
   Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lor (1 lsl (v land 7))))
 
 let solve items =
+  Telemetry.span "knapsack.solve" @@ fun () ->
   let items =
     List.filter (fun item -> item.value > 0) items
     |> List.sort (fun a b -> Site.compare_pc a.pc b.pc)
@@ -46,6 +54,11 @@ let solve items =
         end
       done)
     items;
+  Telemetry.incr m_solves;
+  Telemetry.add m_items (Array.length items);
+  Telemetry.add m_dp_cells (total_value + 1);
+  Telemetry.add m_take_bytes (Array.length items * bytes_per_row);
+  Telemetry.observe h_dp_cells (total_value + 1);
   { items; dp; take; total_value }
 
 let max_value s = s.total_value

@@ -7,6 +7,17 @@ module Kernel = Ff_ir.Kernel
 module Hashing = Ff_support.Hashing
 module Rng = Ff_support.Rng
 module Pool = Ff_support.Pool
+module Telemetry = Ff_support.Telemetry
+
+(* The paper's central metric — sections re-analyzed vs reused — plus the
+   work they cost, as process-wide counters next to Store's per-store
+   hit/miss telemetry. *)
+let m_runs = Telemetry.counter "pipeline.runs"
+let m_sections_total = Telemetry.counter "pipeline.sections.total"
+let m_reused = Telemetry.counter "pipeline.sections.reused"
+let m_reanalyzed = Telemetry.counter "pipeline.sections.reanalyzed"
+let m_work = Telemetry.counter "pipeline.work"
+let m_work_total = Telemetry.counter "pipeline.total_section_work"
 
 type config = {
   campaign : Campaign.config;
@@ -114,6 +125,7 @@ type section_plan =
   | Fresh_dup                       (* later section sharing a missed key *)
 
 let analyze ?store ?(pool = Pool.serial) config program =
+  Telemetry.span "pipeline.analyze" @@ fun () ->
   let golden = Golden.run program in
   let dataflow = Dataflow.of_golden golden in
   let keys = Array.map (section_key config) golden.Golden.sections in
@@ -145,8 +157,18 @@ let analyze ?store ?(pool = Pool.serial) config program =
          (fun i -> plan.(i) = Fresh_first)
          (Seq.init (Array.length keys) Fun.id))
   in
+  (* Section-level progress for long campaigns: prints (when active) a
+     rate-limited done/total + ETA line to stderr; stepping from worker
+     domains is safe and costs an atomic increment. *)
+  let meter =
+    Telemetry.progress ~label:"analyze: sections" ~total:(Array.length miss_indices)
+  in
   let analyze_one section_index =
-    analyze_section ~pool config golden ~section_index ~key:keys.(section_index)
+    let record =
+      analyze_section ~pool config golden ~section_index ~key:keys.(section_index)
+    in
+    Telemetry.step meter;
+    record
   in
   let fresh =
     (* With a single miss, leave the pool free so the section's own
@@ -154,6 +176,7 @@ let analyze ?store ?(pool = Pool.serial) config program =
     if Array.length miss_indices <= 1 then Array.map analyze_one miss_indices
     else Pool.map_array pool analyze_one miss_indices
   in
+  Telemetry.finish meter;
   let fresh_by_key = Hashtbl.create 16 in
   Array.iteri (fun j i -> Hashtbl.replace fresh_by_key keys.(i) fresh.(j)) miss_indices;
   (* Phase 3 (coordinating domain): store writes and counters in schedule
@@ -213,6 +236,12 @@ let analyze ?store ?(pool = Pool.serial) config program =
       ~epsilon:config.epsilon
   in
   let solution = Knapsack.solve (Knapsack.items_of_valuation valuation) in
+  Telemetry.incr m_runs;
+  Telemetry.add m_sections_total (Array.length keys);
+  Telemetry.add m_reused !reused;
+  Telemetry.add m_reanalyzed !analyzed;
+  Telemetry.add m_work !work;
+  Telemetry.add m_work_total !total_section_work;
   {
     golden;
     dataflow;

@@ -1,3 +1,11 @@
+module Telemetry = Ff_support.Telemetry
+
+(* Process-wide mirrors of the per-store hit/miss fields: the paper's
+   central incremental-reuse metric, exported via --metrics. *)
+let m_hits = Telemetry.counter "store.hits"
+let m_misses = Telemetry.counter "store.misses"
+let m_adds = Telemetry.counter "store.adds"
+
 type key = {
   code_hash : int64;
   input_hash : int64;
@@ -23,12 +31,16 @@ let find t key =
   match Hashtbl.find_opt t.table key with
   | Some record ->
     t.hit_count <- t.hit_count + 1;
+    Telemetry.incr m_hits;
     Some record
   | None ->
     t.miss_count <- t.miss_count + 1;
+    Telemetry.incr m_misses;
     None
 
-let add t record = Hashtbl.replace t.table record.rec_key record
+let add t record =
+  Telemetry.incr m_adds;
+  Hashtbl.replace t.table record.rec_key record
 
 let records t = Hashtbl.fold (fun _ record acc -> record :: acc) t.table []
 

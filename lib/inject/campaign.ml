@@ -1,6 +1,45 @@
 open Ff_vm
 module Hashing = Ff_support.Hashing
 module Pool = Ff_support.Pool
+module Telemetry = Ff_support.Telemetry
+
+(* Per-phase telemetry (paper-style campaign statistics): how many
+   sections/classes/sites each campaign kind visited, how much simulated
+   work it cost, and the outcome-class tallies behind v(pc). All values
+   are sums over deterministic result arrays, so they are identical for
+   every pool width. *)
+let m_sections = Telemetry.counter "campaign.sections"
+let m_injections = Telemetry.counter "campaign.injections"
+let m_sites = Telemetry.counter "campaign.sites"
+let m_work = Telemetry.counter "campaign.work"
+let h_section_work = Telemetry.histogram "campaign.section_work"
+let m_masked = Telemetry.counter "campaign.outcome.masked"
+let m_sdc = Telemetry.counter "campaign.outcome.sdc"
+let m_crash = Telemetry.counter "campaign.outcome.crash"
+let m_timeout = Telemetry.counter "campaign.outcome.timeout"
+let m_misformatted = Telemetry.counter "campaign.outcome.misformatted"
+let m_b_runs = Telemetry.counter "campaign.baseline.runs"
+let m_b_injections = Telemetry.counter "campaign.baseline.injections"
+let m_b_sites = Telemetry.counter "campaign.baseline.sites"
+let m_b_work = Telemetry.counter "campaign.baseline.work"
+let m_f_injections = Telemetry.counter "campaign.final.injections"
+let m_f_work = Telemetry.counter "campaign.final.work"
+
+let tally_detected = function
+  | Outcome.Crash -> Telemetry.incr m_crash
+  | Outcome.Timed_out -> Telemetry.incr m_timeout
+  | Outcome.Misformatted -> Telemetry.incr m_misformatted
+
+let tally_section_outcomes classes =
+  if Telemetry.enabled () then
+    Array.iter
+      (fun (_, outcome) ->
+        match outcome with
+        | Outcome.S_detected kind -> tally_detected kind
+        | Outcome.S_sdc _ ->
+          if Outcome.section_is_masked outcome then Telemetry.incr m_masked
+          else Telemetry.incr m_sdc)
+      classes
 
 type config = {
   bits : Site.bit_policy;
@@ -31,6 +70,9 @@ type section_result = {
 let sum_work tagged = Array.fold_left (fun acc (_, w) -> acc + w) 0 tagged
 
 let run_section ?(pool = Pool.serial) golden ~section_index config =
+  Telemetry.span "campaign.run_section"
+    ~attrs:[ ("section", string_of_int section_index) ]
+  @@ fun () ->
   let section = golden.Golden.sections.(section_index) in
   let class_list = Eqclass.for_section section config.bits in
   let classes = Array.of_list class_list in
@@ -45,13 +87,22 @@ let run_section ?(pool = Pool.serial) golden ~section_index config =
         ((cls, Outcome.of_section_replay replay), replay.Replay.s_executed))
       classes
   in
-  {
-    section_index;
-    s_classes = Array.map fst tagged;
-    s_work = sum_work tagged;
-    s_injections = Array.length classes;
-    s_sites = Eqclass.total_sites class_list;
-  }
+  let result =
+    {
+      section_index;
+      s_classes = Array.map fst tagged;
+      s_work = sum_work tagged;
+      s_injections = Array.length classes;
+      s_sites = Eqclass.total_sites class_list;
+    }
+  in
+  Telemetry.incr m_sections;
+  Telemetry.add m_injections result.s_injections;
+  Telemetry.add m_sites result.s_sites;
+  Telemetry.add m_work result.s_work;
+  Telemetry.observe h_section_work result.s_work;
+  tally_section_outcomes result.s_classes;
+  result
 
 type baseline_result = {
   b_classes : (Eqclass.t * Outcome.final_outcome) array;
@@ -61,6 +112,7 @@ type baseline_result = {
 }
 
 let run_baseline ?(pool = Pool.serial) golden config =
+  Telemetry.span "campaign.run_baseline" @@ fun () ->
   let class_list = Eqclass.for_program golden config.bits in
   let classes = Array.of_list class_list in
   let tagged =
@@ -75,14 +127,24 @@ let run_baseline ?(pool = Pool.serial) golden config =
         ((cls, Outcome.of_program_replay replay), replay.Replay.p_executed))
       classes
   in
-  {
-    b_classes = Array.map fst tagged;
-    b_work = sum_work tagged;
-    b_injections = Array.length classes;
-    b_sites = Eqclass.total_sites class_list;
-  }
+  let result =
+    {
+      b_classes = Array.map fst tagged;
+      b_work = sum_work tagged;
+      b_injections = Array.length classes;
+      b_sites = Eqclass.total_sites class_list;
+    }
+  in
+  Telemetry.incr m_b_runs;
+  Telemetry.add m_b_injections result.b_injections;
+  Telemetry.add m_b_sites result.b_sites;
+  Telemetry.add m_b_work result.b_work;
+  result
 
 let final_outcomes_for_section ?(pool = Pool.serial) golden ~section_index config =
+  Telemetry.span "campaign.final_outcomes"
+    ~attrs:[ ("section", string_of_int section_index) ]
+  @@ fun () ->
   let section = golden.Golden.sections.(section_index) in
   let classes = Array.of_list (Eqclass.for_section section config.bits) in
   let tagged =
@@ -96,4 +158,7 @@ let final_outcomes_for_section ?(pool = Pool.serial) golden ~section_index confi
         ((cls, Outcome.of_program_replay replay), replay.Replay.p_executed))
       classes
   in
-  (Array.map fst tagged, sum_work tagged)
+  let work = sum_work tagged in
+  Telemetry.add m_f_injections (Array.length classes);
+  Telemetry.add m_f_work work;
+  (Array.map fst tagged, work)

@@ -3,6 +3,12 @@ open Ff_vm
 module Rng = Ff_support.Rng
 module Hashing = Ff_support.Hashing
 module Pool = Ff_support.Pool
+module Telemetry = Ff_support.Telemetry
+
+let m_estimates = Telemetry.counter "sensitivity.estimates"
+let m_samples = Telemetry.counter "sensitivity.samples"
+let m_work = Telemetry.counter "sensitivity.work"
+let h_section_work = Telemetry.histogram "sensitivity.section_work"
 
 type t = {
   section_index : int;
@@ -58,6 +64,9 @@ let sample_chunk = 25
 
 let estimate ?(samples = 200) ?(max_perturbation = 0.01) ?(safety_factor = 1.25)
     ?(pool = Pool.serial) ~rng golden ~section_index =
+  Telemetry.span "sensitivity.estimate"
+    ~attrs:[ ("section", string_of_int section_index) ]
+  @@ fun () ->
   let section = golden.Golden.sections.(section_index) in
   let inputs = Array.of_list (readable_buffers section) in
   let outputs = Array.of_list (writable_buffers section) in
@@ -145,6 +154,10 @@ let estimate ?(samples = 200) ?(max_perturbation = 0.01) ?(safety_factor = 1.25)
     (fun row ->
       Array.iteri (fun i v -> if Float.is_finite v then row.(i) <- v *. safety_factor) row)
     k;
+  Telemetry.incr m_estimates;
+  Telemetry.add m_samples (samples * Array.length inputs);
+  Telemetry.add m_work !work;
+  Telemetry.observe h_section_work !work;
   {
     section_index;
     input_buffers = inputs;

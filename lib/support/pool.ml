@@ -1,3 +1,14 @@
+(* Telemetry probes. Deterministic quantities (maps, tasks, chunk claims)
+   are plain counters; which domain ran a task and how long the
+   coordinator waited depend on scheduling, so those are volatile. *)
+let m_maps = Telemetry.counter "pool.maps"
+let m_serial_maps = Telemetry.counter "pool.serial_maps"
+let m_tasks = Telemetry.counter "pool.tasks"
+let m_chunks = Telemetry.counter "pool.chunks"
+let m_tasks_caller = Telemetry.counter ~volatile:true "pool.tasks.caller"
+let m_tasks_workers = Telemetry.counter ~volatile:true "pool.tasks.workers"
+let m_wait_ns = Telemetry.counter ~volatile:true "pool.coordinator_wait_ns"
+
 type t = {
   width : int;
   mutable workers : unit Domain.t array;
@@ -69,15 +80,22 @@ let with_pool ~domains f =
   let t = create ~domains in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+let parse_domains s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Ok (min 128 n)
+  | Some n -> Error (Printf.sprintf "domain count must be >= 1, got %d" n)
+  | None -> Error (Printf.sprintf "domain count must be an integer, got %S" s)
+
 let default_domains () =
-  let clamp n = min 128 (max 1 n) in
-  let recommended () = clamp (Domain.recommended_domain_count ()) in
+  let recommended () = min 128 (max 1 (Domain.recommended_domain_count ())) in
   match Sys.getenv_opt "FF_DOMAINS" with
   | None -> recommended ()
   | Some s ->
-    (match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> clamp n
-    | Some _ | None -> recommended ())
+    (match parse_domains s with
+    | Ok n -> n
+    | Error msg ->
+      Printf.eprintf "warning: invalid FF_DOMAINS (%s); running on 1 domain\n%!" msg;
+      1)
 
 let map_array ?chunk t f arr =
   let n = Array.length arr in
@@ -87,9 +105,15 @@ let map_array ?chunk t f arr =
   let workers = t.workers in
   if n = 0 || Array.length workers = 0
      || not (Atomic.compare_and_set t.busy false true)
-  then Array.map f arr
+  then begin
+    Telemetry.incr m_serial_maps;
+    Telemetry.add m_tasks n;
+    Array.map f arr
+  end
   else
     Fun.protect ~finally:(fun () -> Atomic.set t.busy false) @@ fun () ->
+    Telemetry.incr m_maps;
+    Telemetry.add m_tasks n;
     let chunk =
       match chunk with Some c -> c | None -> max 1 (n / (4 * t.width))
     in
@@ -99,13 +123,16 @@ let map_array ?chunk t f arr =
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let error = Atomic.make None in
-    let run_chunks () =
+    let run_chunks tally () =
       let continue = ref true in
+      let mine = ref 0 in
       while !continue do
         let start = Atomic.fetch_and_add next chunk in
         if start >= n || Atomic.get error <> None then continue := false
         else begin
           let stop = min n (start + chunk) in
+          Telemetry.incr m_chunks;
+          mine := !mine + (stop - start);
           try
             for i = start to stop - 1 do
               results.(i) <- Some (f arr.(i))
@@ -115,21 +142,28 @@ let map_array ?chunk t f arr =
             ignore (Atomic.compare_and_set error None (Some (e, bt)));
             continue := false
         end
-      done
+      done;
+      Telemetry.add tally !mine
     in
+    (* Workers inherit the submitting domain's span path, so span nesting
+       (and hence the deterministic span counts) never depends on which
+       domain happened to run a chunk. *)
+    let span_path = Telemetry.current_path () in
     Mutex.lock t.lock;
-    t.job <- Some run_chunks;
+    t.job <- Some (fun () -> Telemetry.with_path span_path (run_chunks m_tasks_workers));
     t.generation <- t.generation + 1;
     t.remaining <- Array.length workers;
     Condition.broadcast t.work_ready;
     Mutex.unlock t.lock;
-    run_chunks ();
+    run_chunks m_tasks_caller ();
+    let wait0 = if Telemetry.enabled () then Telemetry.now_ns () else 0 in
     Mutex.lock t.lock;
     while t.remaining > 0 do
       Condition.wait t.work_done t.lock
     done;
     t.job <- None;
     Mutex.unlock t.lock;
+    if wait0 <> 0 then Telemetry.add m_wait_ns (Telemetry.now_ns () - wait0);
     match Atomic.get error with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> Array.map (function Some v -> v | None -> assert false) results

@@ -54,8 +54,14 @@ val with_pool : domains:int -> (t -> 'a) -> 'a
 (** [with_pool ~domains f] creates a pool, applies [f], and shuts the
     pool down (also on exception). *)
 
+val parse_domains : string -> (int, string) result
+(** Parse a user-supplied domain count ([FF_DOMAINS], [--jobs]).
+    [Ok n] for integers [>= 1] (clamped to [create]'s upper bound);
+    [Error message] for non-numeric, zero, or negative input. *)
+
 val default_domains : unit -> int
 (** The parallel width to use when the user gave none: the [FF_DOMAINS]
-    environment variable if set to a positive integer, otherwise
-    [Domain.recommended_domain_count ()]; clamped to [create]'s
-    accepted range. *)
+    environment variable if it parses ({!parse_domains}), otherwise
+    [Domain.recommended_domain_count ()] clamped to [create]'s accepted
+    range. An invalid [FF_DOMAINS] prints a warning to stderr and falls
+    back to 1 domain rather than dying with a parse exception. *)

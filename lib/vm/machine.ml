@@ -1,4 +1,16 @@
 open Ff_ir
+module Telemetry = Ff_support.Telemetry
+
+(* One probe per [exec] call (never per instruction): replays are the
+   unit the campaign layers reason about, and per-instruction bumps
+   would put an atomic on the interpreter's hottest loop. *)
+let m_execs = Telemetry.counter "vm.execs"
+let m_instructions = Telemetry.counter "vm.instructions"
+let m_timeouts = Telemetry.counter "vm.timeouts"
+let m_trap_oob = Telemetry.counter "vm.trap.out_of_bounds"
+let m_trap_div = Telemetry.counter "vm.trap.div_by_zero"
+let m_trap_conv = Telemetry.counter "vm.trap.invalid_conversion"
+let m_trap_confusion = Telemetry.counter "vm.trap.type_confusion"
 
 type trap =
   | Out_of_bounds
@@ -220,6 +232,15 @@ let exec (kernel : Kernel.t) ~scalars ~buffers ~budget ?injection ?(burst = 1) ?
       !status
     with Trap t -> Trapped t
   in
+  Telemetry.incr m_execs;
+  Telemetry.add m_instructions !executed;
+  (match result with
+  | Finished -> ()
+  | Out_of_budget -> Telemetry.incr m_timeouts
+  | Trapped Out_of_bounds -> Telemetry.incr m_trap_oob
+  | Trapped Div_by_zero -> Telemetry.incr m_trap_div
+  | Trapped Invalid_conversion -> Telemetry.incr m_trap_conv
+  | Trapped Type_confusion -> Telemetry.incr m_trap_confusion);
   { status = result; executed = !executed }
 
 let pp_trap fmt t =

@@ -295,6 +295,27 @@ let test_pool_shutdown_idempotent () =
   Alcotest.(check (array int)) "after shutdown" [| 2; 3; 4 |]
     (Pool.map_array pool succ [| 1; 2; 3 |])
 
+let test_pool_parse_domains () =
+  let check_ok label s expected =
+    match Pool.parse_domains s with
+    | Ok n -> Alcotest.(check int) label expected n
+    | Error e -> Alcotest.fail (label ^ ": unexpected error " ^ e)
+  in
+  let check_err label s =
+    match Pool.parse_domains s with
+    | Ok n -> Alcotest.fail (Printf.sprintf "%s: expected error, got Ok %d" label n)
+    | Error e -> Alcotest.(check bool) (label ^ " has message") true (String.length e > 0)
+  in
+  check_ok "plain" "4" 4;
+  check_ok "one" "1" 1;
+  check_ok "surrounding whitespace" " 8 " 8;
+  check_ok "clamped to 128" "1000" 128;
+  check_err "zero" "0";
+  check_err "negative" "-2";
+  check_err "garbage" "abc";
+  check_err "empty" "";
+  check_err "trailing junk" "4x"
+
 let pool_map_property =
   QCheck.Test.make ~count:100 ~name:"Pool.map_array ≡ Array.map"
     QCheck.(pair (list int) (int_range 1 17))
@@ -363,6 +384,7 @@ let () =
           Alcotest.test_case "reentrancy is serial" `Quick
             test_pool_reentrant_degrades_to_serial;
           Alcotest.test_case "argument validation" `Quick test_pool_rejects_bad_arguments;
+          Alcotest.test_case "FF_DOMAINS parsing" `Quick test_pool_parse_domains;
           Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
           QCheck_alcotest.to_alcotest pool_map_property;
         ] );
