@@ -227,6 +227,134 @@ let emit_parallel_json ~quick () =
   close_out oc;
   Printf.printf "wrote BENCH_parallel.json (%d domains)\n%!" jobs
 
+(* --- boxed vs unboxed execution engine ---------------------------------- *)
+
+type engine_timing = {
+  e_seconds : float;
+  e_instr_per_sec : float;
+  e_replays_per_sec : float;
+}
+
+type vm_result = {
+  vm_boxed : engine_timing;
+  vm_unboxed : engine_timing;
+  vm_identical : bool;
+}
+
+let vm_result : vm_result option ref = ref None
+
+let print_vm config =
+  (* Full injection campaigns over every LUD section, serially, once per
+     engine: the replay loop is exactly the campaign hot path, so
+     instructions/s and replays/s compare the engines end to end (decode,
+     workspace reset, execution, classification). Identity of the two
+     result arrays is checked and fatal on divergence. *)
+  let bench = Option.get (Registry.find "LUD") in
+  let program = Ff_lang.Frontend.compile_exn (bench.Defs.source Defs.V_none) in
+  let golden = Ff_vm.Golden.run program in
+  let campaign_config = config.Pipeline.campaign in
+  (* Class enumeration is engine-independent input, identical for both
+     sides — hoist it out of the timed region so the comparison isolates
+     the replay engines. *)
+  let classes =
+    Array.init (Array.length golden.Ff_vm.Golden.sections) (fun i ->
+        Ff_inject.Eqclass.for_section golden.Ff_vm.Golden.sections.(i)
+          campaign_config.Campaign.bits)
+  in
+  let campaign engine =
+    Array.init (Array.length golden.Ff_vm.Golden.sections) (fun i ->
+        Campaign.run_section ~engine ~classes:classes.(i) golden ~section_index:i
+          campaign_config)
+  in
+  (* Warm both engines once so one-time costs (plan build, decoded form,
+     workspace allocation) don't skew the timed comparison. *)
+  ignore (campaign Ff_vm.Replay.Boxed);
+  ignore (campaign Ff_vm.Replay.Unboxed);
+  (* Interleaved best-of-N: one timed run per engine per round, keeping
+     each engine's minimum. A single timed run per engine is at the mercy
+     of scheduler noise (observed >30% run-to-run swing for identical
+     code); interleaving exposes both engines to the same interference
+     and the minimum is the least-perturbed execution of each. *)
+  let reps = 9 in
+  let best_boxed = ref infinity and best_unboxed = ref infinity in
+  let boxed_results = ref [||] and unboxed_results = ref [||] in
+  for _ = 1 to reps do
+    let rb, sb = wall (fun () -> campaign Ff_vm.Replay.Boxed) in
+    if sb < !best_boxed then best_boxed := sb;
+    boxed_results := rb;
+    let ru, su = wall (fun () -> campaign Ff_vm.Replay.Unboxed) in
+    if su < !best_unboxed then best_unboxed := su;
+    unboxed_results := ru
+  done;
+  let timing_of results seconds =
+    let work = Array.fold_left (fun acc r -> acc + r.Campaign.s_work) 0 results in
+    let replays =
+      Array.fold_left (fun acc r -> acc + r.Campaign.s_injections) 0 results
+    in
+    {
+      e_seconds = seconds;
+      e_instr_per_sec = (if seconds > 0.0 then float_of_int work /. seconds else 0.0);
+      e_replays_per_sec =
+        (if seconds > 0.0 then float_of_int replays /. seconds else 0.0);
+    }
+  in
+  let boxed_results = !boxed_results and unboxed_results = !unboxed_results in
+  let boxed = timing_of boxed_results !best_boxed in
+  let unboxed = timing_of unboxed_results !best_unboxed in
+  let identical = same boxed_results unboxed_results in
+  vm_result := Some { vm_boxed = boxed; vm_unboxed = unboxed; vm_identical = identical };
+  let t =
+    Ff_support.Table.create ~title:"LUD (V_none): boxed vs unboxed engine, full campaign"
+      [
+        ("Engine", Ff_support.Table.Left);
+        ("Seconds", Ff_support.Table.Right);
+        ("Minstr/s", Ff_support.Table.Right);
+        ("Replays/s", Ff_support.Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, e) ->
+      Ff_support.Table.add_row t
+        [
+          name;
+          Printf.sprintf "%.3f" e.e_seconds;
+          Printf.sprintf "%.2f" (e.e_instr_per_sec /. 1e6);
+          Printf.sprintf "%.0f" e.e_replays_per_sec;
+        ])
+    [ ("boxed", boxed); ("unboxed", unboxed) ];
+  Ff_support.Table.print t;
+  Printf.printf "campaign speedup (unboxed/boxed): %.2fx, identical: %b\n%!"
+    (if unboxed.e_seconds > 0.0 then boxed.e_seconds /. unboxed.e_seconds else 0.0)
+    identical;
+  if not identical then begin
+    prerr_endline "FATAL: unboxed engine diverged from the boxed oracle";
+    exit 1
+  end
+
+let emit_vm_json () =
+  match !vm_result with
+  | None -> ()
+  | Some r ->
+    let speedup =
+      if r.vm_unboxed.e_seconds > 0.0 then
+        r.vm_boxed.e_seconds /. r.vm_unboxed.e_seconds
+      else 0.0
+    in
+    let engine name e =
+      Printf.sprintf
+        "    %S: { \"seconds\": %.6f, \"instr_per_sec\": %.1f, \"replays_per_sec\": %.1f }"
+        name e.e_seconds e.e_instr_per_sec e.e_replays_per_sec
+    in
+    let oc = open_out "BENCH_vm.json" in
+    Printf.fprintf oc
+      "{\n  \"engines\": {\n%s,\n%s\n  },\n  \"campaign_speedup\": %.3f,\n  \
+       \"identical\": %b\n}\n"
+      (engine "boxed" r.vm_boxed)
+      (engine "unboxed" r.vm_unboxed)
+      speedup r.vm_identical;
+    close_out oc;
+    Printf.printf "wrote BENCH_vm.json (speedup %.2fx)\n%!" speedup
+
 (* --- Bechamel micro-benchmarks ----------------------------------------- *)
 
 let micro () =
@@ -302,6 +430,7 @@ let artifacts =
     ("ablations", print_ablations);
     ("evolution", print_evolution);
     ("parallel", print_parallel);
+    ("vm", print_vm);
   ]
 
 let run_artifact config name f =
@@ -345,6 +474,7 @@ let () =
         else run_artifact config name (List.assoc name artifacts))
       names);
   emit_parallel_json ~quick ();
+  emit_vm_json ();
   (match metrics with
   | Some path ->
     Telemetry.write ~path ();

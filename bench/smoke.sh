@@ -5,7 +5,8 @@
 # Also available as a dune alias: dune build @bench-quick
 #
 # Exits nonzero if the bench itself fails, if the serial-vs-parallel
-# identical-results check fails, or if BENCH_parallel.json is missing or
+# identical-results check fails, if the unboxed engine diverges from the
+# boxed oracle, or if BENCH_parallel.json / BENCH_vm.json are missing or
 # malformed — so CI catches a silently broken bench, not just a crashed one.
 set -eu
 cd "$(dirname "$0")/.."
@@ -17,9 +18,10 @@ fail() {
 
 dune build bench/main.exe
 
-rm -f BENCH_parallel.json
-# main.exe exits nonzero itself when the parallel run diverges from serial.
-FF_DOMAINS=2 dune exec bench/main.exe -- quick parallel table3 \
+rm -f BENCH_parallel.json BENCH_vm.json
+# main.exe exits nonzero itself when the parallel run diverges from serial
+# or the unboxed engine diverges from the boxed oracle.
+FF_DOMAINS=2 dune exec bench/main.exe -- quick parallel table3 vm \
   --metrics BENCH_metrics.json
 
 [ -s BENCH_parallel.json ] || fail "BENCH_parallel.json missing or empty"
@@ -31,7 +33,12 @@ if grep -q '"identical": false' BENCH_parallel.json; then
 fi
 grep -q '"identical": true' BENCH_parallel.json || fail "no identical-results phases recorded"
 
+[ -s BENCH_vm.json ] || fail "BENCH_vm.json missing or empty"
+grep -q '"engines"' BENCH_vm.json || fail "BENCH_vm.json malformed: no \"engines\" key"
+grep -q '"campaign_speedup"' BENCH_vm.json || fail "BENCH_vm.json malformed: no \"campaign_speedup\" key"
+grep -q '"identical": true' BENCH_vm.json || fail "unboxed engine not verified identical to boxed oracle"
+
 [ -s BENCH_metrics.json ] || fail "BENCH_metrics.json missing or empty"
 grep -q '"campaign.injections"' BENCH_metrics.json || fail "BENCH_metrics.json malformed: no campaign counters"
 
-echo "bench/smoke.sh: ok (parallel results identical, artifacts well-formed)"
+echo "bench/smoke.sh: ok (parallel + engine results identical, artifacts well-formed)"

@@ -255,6 +255,15 @@ let analyze ?store ?(pool = Pool.serial) config program =
     sections_analyzed = !analyzed;
   }
 
+let ground_truth_for_section ?pool analysis ~section_index campaign_config =
+  (* §4.10 "simultaneous" ground-truth labels: reuse the equivalence
+     classes the per-section campaign already enumerated (rebased to the
+     current schedule index) instead of re-walking the trace. *)
+  let record = analysis.sections.(section_index) in
+  let classes = Array.map fst record.Store.rec_campaign.Campaign.s_classes in
+  Campaign.final_outcomes_for_section ?pool ~classes analysis.golden ~section_index
+    campaign_config
+
 let select analysis ~target =
   let total = float_of_int analysis.valuation.Valuation.total_value in
   let integer_target = int_of_float (ceil (target *. total)) in

@@ -69,19 +69,24 @@ type section_result = {
    counts afterwards (never through a shared ref). *)
 let sum_work tagged = Array.fold_left (fun acc (_, w) -> acc + w) 0 tagged
 
-let run_section ?(pool = Pool.serial) golden ~section_index config =
+let run_section ?(pool = Pool.serial) ?(engine = Replay.default_engine) ?classes golden
+    ~section_index config =
   Telemetry.span "campaign.run_section"
     ~attrs:[ ("section", string_of_int section_index) ]
   @@ fun () ->
   let section = golden.Golden.sections.(section_index) in
-  let class_list = Eqclass.for_section section config.bits in
+  let class_list =
+    match classes with
+    | Some l -> l
+    | None -> Eqclass.for_section section config.bits
+  in
   let classes = Array.of_list class_list in
   let tagged =
     Pool.map_array pool
       (fun cls ->
         let injection = Site.machine_injection cls.Eqclass.pilot in
         let replay =
-          Replay.run_section ~burst:config.burst golden section injection
+          Replay.run_section ~burst:config.burst ~engine golden section injection
             ~timeout_factor:config.timeout_factor
         in
         ((cls, Outcome.of_section_replay replay), replay.Replay.s_executed))
@@ -111,7 +116,7 @@ type baseline_result = {
   b_sites : int;
 }
 
-let run_baseline ?(pool = Pool.serial) golden config =
+let run_baseline ?(pool = Pool.serial) ?(engine = Replay.default_engine) golden config =
   Telemetry.span "campaign.run_baseline" @@ fun () ->
   let class_list = Eqclass.for_program golden config.bits in
   let classes = Array.of_list class_list in
@@ -120,7 +125,7 @@ let run_baseline ?(pool = Pool.serial) golden config =
       (fun cls ->
         let injection = Site.machine_injection cls.Eqclass.pilot in
         let replay =
-          Replay.run_to_end ~burst:config.burst golden
+          Replay.run_to_end ~burst:config.burst ~engine golden
             ~from_section:cls.Eqclass.pilot.Site.section injection
             ~timeout_factor:config.timeout_factor
         in
@@ -141,19 +146,29 @@ let run_baseline ?(pool = Pool.serial) golden config =
   Telemetry.add m_b_work result.b_work;
   result
 
-let final_outcomes_for_section ?(pool = Pool.serial) golden ~section_index config =
+let final_outcomes_for_section ?(pool = Pool.serial) ?(engine = Replay.default_engine)
+    ?classes golden ~section_index config =
   Telemetry.span "campaign.final_outcomes"
     ~attrs:[ ("section", string_of_int section_index) ]
   @@ fun () ->
-  let section = golden.Golden.sections.(section_index) in
-  let classes = Array.of_list (Eqclass.for_section section config.bits) in
+  (* Callers that already ran the per-section campaign (the pipeline's
+     §4.10 "simultaneous" mode) pass its classes back in rather than
+     paying the enumeration again; the fallback re-enumerates. *)
+  let classes =
+    match classes with
+    | Some c -> c
+    | None ->
+      let section = golden.Golden.sections.(section_index) in
+      Array.of_list (Eqclass.for_section section config.bits)
+  in
   let tagged =
     Pool.map_array pool
       (fun cls ->
         let injection = Site.machine_injection cls.Eqclass.pilot in
         let replay =
-          Replay.run_to_end ~burst:config.burst golden ~from_section:section_index
-            injection ~timeout_factor:config.timeout_factor
+          Replay.run_to_end ~burst:config.burst ~engine golden
+            ~from_section:section_index injection
+            ~timeout_factor:config.timeout_factor
         in
         ((cls, Outcome.of_program_replay replay), replay.Replay.p_executed))
       classes

@@ -36,9 +36,18 @@ type section_result = {
 }
 
 val run_section :
-  ?pool:Ff_support.Pool.t -> Ff_vm.Golden.t -> section_index:int -> config -> section_result
+  ?pool:Ff_support.Pool.t ->
+  ?engine:Ff_vm.Replay.engine ->
+  ?classes:Eqclass.t list ->
+  Ff_vm.Golden.t -> section_index:int -> config -> section_result
 (** FastFlip's per-section campaign: each pilot runs the section in
-    isolation from its golden entry state. *)
+    isolation from its golden entry state. [engine] (default
+    {!Ff_vm.Replay.default_engine}) selects the execution engine; both
+    produce bit-identical outcomes, which is why it is deliberately
+    absent from {!config_hash} — stored results remain valid across
+    engines. [classes] supplies a pre-enumerated class list (it must be
+    {!Eqclass.for_section} of this section under [config]); when absent
+    the classes are enumerated here. *)
 
 type baseline_result = {
   b_classes : (Eqclass.t * Outcome.final_outcome) array;
@@ -47,15 +56,22 @@ type baseline_result = {
   b_sites : int;
 }
 
-val run_baseline : ?pool:Ff_support.Pool.t -> Ff_vm.Golden.t -> config -> baseline_result
+val run_baseline :
+  ?pool:Ff_support.Pool.t ->
+  ?engine:Ff_vm.Replay.engine ->
+  Ff_vm.Golden.t -> config -> baseline_result
 (** The monolithic Approxilyzer-style campaign: whole-trace equivalence
     classes, each pilot runs from its section's entry state through the
     end of the program. *)
 
 val final_outcomes_for_section :
   ?pool:Ff_support.Pool.t ->
+  ?engine:Ff_vm.Replay.engine ->
+  ?classes:Eqclass.t array ->
   Ff_vm.Golden.t -> section_index:int -> config -> (Eqclass.t * Outcome.final_outcome) array * int
 (** End-to-end outcomes for the sites of one section using FastFlip's
     per-section classes (used when FastFlip runs the ground-truth labels
     "simultaneously", §4.10). Returns the classes with final outcomes and
-    the extra work spent. *)
+    the extra work spent. [classes] lets a caller that already enumerated
+    the section's equivalence classes (e.g. from a completed per-section
+    campaign) reuse them instead of re-enumerating. *)

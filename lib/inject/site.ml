@@ -54,24 +54,30 @@ let machine_injection t =
 
 let count_section (section : Golden.section_run) policy =
   let bits = List.length (bits_of_policy policy) in
-  let code = section.Golden.kernel.Kernel.code in
+  let decoded = section.Golden.decoded in
   Array.fold_left
-    (fun acc pc -> acc + (operand_count code.(pc) * bits))
+    (fun acc pc -> acc + (Decode.noperands decoded pc * bits))
     0 section.Golden.trace
 
 let iter_section (section : Golden.section_run) policy f =
   let bits = bits_of_policy policy in
-  let code = section.Golden.kernel.Kernel.code in
+  let decoded = section.Golden.decoded in
+  (* One operand list per static instruction, not per dynamic trace
+     element: traces revisit the same few pcs thousands of times. *)
+  let per_pc_operands =
+    Array.init (Decode.length decoded) (fun pc_idx ->
+        let srcs = List.init (Decode.nsrcs decoded pc_idx) (fun i -> Src i) in
+        if Decode.dst_at decoded pc_idx >= 0 then srcs @ [ Dst ] else srcs)
+  in
   Array.iteri
     (fun dyn pc_idx ->
-      let instr = code.(pc_idx) in
       let pc = { kernel = section.Golden.kernel_index; instr = pc_idx } in
       List.iter
         (fun operand ->
           List.iter
             (fun bit -> f { section = section.Golden.section_index; dyn; pc; operand; bit })
             bits)
-        (operands instr))
+        per_pc_operands.(pc_idx))
     section.Golden.trace
 
 let default_bits =

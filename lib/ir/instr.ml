@@ -58,6 +58,34 @@ let dst = function
   | Load (d, _, _) -> Some d
   | Store _ | Jmp _ | Br _ | Halt -> None
 
+(* Non-allocating operand accessors: the injection engine addresses
+   operands as (instruction, source position) on its hottest paths, where
+   building the [srcs] list per query would dominate. *)
+
+let nsrcs = function
+  | Iconst _ | Fconst _ | Jmp _ | Halt -> 0
+  | Mov _ | Iun _ | Fun1 _ | Cast _ | Load _ | Br _ -> 1
+  | Ibin _ | Fbin _ | Icmp _ | Fcmp _ | Store _ -> 2
+  | Select _ -> 3
+
+let src instr k =
+  match (instr, k) with
+  | Mov (_, s), 0 -> Some s
+  | (Ibin (_, _, a, _) | Fbin (_, _, a, _) | Icmp (_, _, a, _) | Fcmp (_, _, a, _)), 0 ->
+    Some a
+  | (Ibin (_, _, _, b) | Fbin (_, _, _, b) | Icmp (_, _, _, b) | Fcmp (_, _, _, b)), 1 ->
+    Some b
+  | (Iun (_, _, a) | Fun1 (_, _, a) | Cast (_, _, a) | Load (_, _, a)), 0 -> Some a
+  | Select (_, c, _, _), 0 -> Some c
+  | Select (_, _, a, _), 1 -> Some a
+  | Select (_, _, _, b), 2 -> Some b
+  | Store (_, i, _), 0 -> Some i
+  | Store (_, _, v), 1 -> Some v
+  | Br (c, _, _), 0 -> Some c
+  | _ -> None
+
+let dst_index instr = match dst instr with Some d -> d | None -> -1
+
 let labels = function
   | Jmp l -> [ l ]
   | Br (_, l1, l2) -> [ l1; l2 ]

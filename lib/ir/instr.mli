@@ -61,6 +61,18 @@ val srcs : t -> reg list
 val dst : t -> reg option
 (** Register written by the instruction, if any. *)
 
+val nsrcs : t -> int
+(** Number of source-register operands, without allocating the [srcs]
+    list — the decode-time operand counter of the execution engines. *)
+
+val src : t -> int -> reg option
+(** [src instr k] is the [k]-th source register ([List.nth_opt (srcs
+    instr) k] without the list allocation); [None] when out of range. *)
+
+val dst_index : t -> int
+(** [dst] as a plain index, [-1] when the instruction writes nothing —
+    the representation used by the pre-decoded instruction stream. *)
+
 val labels : t -> label list
 (** Branch targets mentioned by the instruction. *)
 
@@ -80,3 +92,17 @@ val to_string : t -> string
 
 val hash_fold : Ff_support.Hashing.t -> t -> unit
 (** Feed the full structure of the instruction to a hash accumulator. *)
+
+(** {2 Dense sub-operation tags}
+
+    Stable small-int encodings of each sub-operation enum, used both by
+    structural hashing and by the pre-decoded execution engine to build
+    its flat opcode space. Tags are dense, starting at 0, in declaration
+    order. *)
+
+val cmp_tag : cmp -> int
+val ibinop_tag : ibinop -> int
+val fbinop_tag : fbinop -> int
+val iunop_tag : iunop -> int
+val funop_tag : funop -> int
+val cast_tag : cast -> int

@@ -6,6 +6,7 @@ type section_run = {
   call : Program.call;
   kernel : Kernel.t;
   kernel_index : int;
+  decoded : Decode.t;
   scalars : Value.t list;
   bindings : (int * Kernel.role) array;
   entry_state : Value.t array array;
@@ -44,6 +45,17 @@ let run ?(budget_per_section = 50_000_000) (program : Program.t) =
     Array.of_list (List.map (fun b -> Array.copy b.Program.buf_init) program.Program.buffers)
   in
   let total_dyn = ref 0 in
+  (* Decode each kernel exactly once, however many sections call it:
+     replays inherit the decoded form through the section record. *)
+  let decoded_cache = Hashtbl.create 8 in
+  let decode_once kernel_index kernel =
+    match Hashtbl.find_opt decoded_cache kernel_index with
+    | Some d -> d
+    | None ->
+      let d = Decode.of_kernel kernel in
+      Hashtbl.add decoded_cache kernel_index d;
+      d
+  in
   let sections =
     List.mapi
       (fun i call ->
@@ -53,6 +65,7 @@ let run ?(budget_per_section = 50_000_000) (program : Program.t) =
           | None -> failwith "Golden.run: unknown kernel"
         in
         let kernel_index = Option.get (Program.kernel_index program call.Program.callee) in
+        let decoded = decode_once kernel_index kernel in
         let scalars = Program.scalar_args program call in
         let bindings = Array.of_list (Program.buffer_args program call) in
         let entry_state = copy_state state in
@@ -60,7 +73,7 @@ let run ?(budget_per_section = 50_000_000) (program : Program.t) =
         let buffers = Array.map (fun (idx, _) -> state.(idx)) bindings in
         let trace = Trace.create () in
         let run_result =
-          Machine.exec kernel ~scalars ~buffers ~budget:budget_per_section ~trace ()
+          Machine.exec kernel ~scalars ~buffers ~budget:budget_per_section ~decoded ~trace ()
         in
         (match run_result.Machine.status with
         | Machine.Finished -> ()
@@ -78,6 +91,7 @@ let run ?(budget_per_section = 50_000_000) (program : Program.t) =
           call;
           kernel;
           kernel_index;
+          decoded;
           scalars;
           bindings;
           entry_state;

@@ -11,6 +11,9 @@ type section_run = {
   call : Ff_ir.Program.call;
   kernel : Ff_ir.Kernel.t;
   kernel_index : int;               (** index into [program.kernels] *)
+  decoded : Decode.t;
+  (** pre-decoded form of [kernel], shared across every section that
+      calls the same kernel — campaigns decode each kernel exactly once *)
   scalars : Ff_ir.Value.t list;     (** scalar argument values *)
   bindings : (int * Ff_ir.Kernel.role) array;
   (** program-buffer index bound to each buffer-parameter slot *)

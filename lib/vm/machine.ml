@@ -114,7 +114,19 @@ let eval_fcmp c a b =
 
 let burst_bits ~bit ~burst = List.init (max 1 burst) (fun i -> (bit + i) mod 64)
 
-let exec (kernel : Kernel.t) ~scalars ~buffers ~budget ?injection ?(burst = 1) ?trace () =
+let telemetry_record status ~executed =
+  Telemetry.incr m_execs;
+  Telemetry.add m_instructions executed;
+  match status with
+  | Finished -> ()
+  | Out_of_budget -> Telemetry.incr m_timeouts
+  | Trapped Out_of_bounds -> Telemetry.incr m_trap_oob
+  | Trapped Div_by_zero -> Telemetry.incr m_trap_div
+  | Trapped Invalid_conversion -> Telemetry.incr m_trap_conv
+  | Trapped Type_confusion -> Telemetry.incr m_trap_confusion
+
+let exec (kernel : Kernel.t) ~scalars ~buffers ~budget ?decoded ?injection ?(burst = 1)
+    ?trace () =
   let nbufs = List.length (Kernel.buffer_params kernel) in
   if Array.length buffers <> nbufs then
     invalid_arg "Machine.exec: buffer arity mismatch";
@@ -154,15 +166,26 @@ let exec (kernel : Kernel.t) ~scalars ~buffers ~budget ?injection ?(burst = 1) ?
   in
   let flip_bits = burst_bits ~bit:inj_bit ~burst in
   let flip_reg r = List.iter (fun b -> regs.(r) <- Value.flip_bit regs.(r) b) flip_bits in
-  let flip_src instr k =
-    match List.nth_opt (Instr.srcs instr) k with
-    | Some r -> flip_reg r
-    | None -> ()
+  (* Operand addressing for the flip: the decoded operand tables when the
+     caller already paid for them (replays do), a non-allocating
+     [Instr.src]/[Instr.dst_index] walk otherwise. *)
+  let flip_src pc instr k =
+    match decoded with
+    | Some d ->
+      let ss = Decode.srcs_at d pc in
+      if k < Array.length ss then flip_reg ss.(k)
+    | None -> (
+      match Instr.src instr k with
+      | Some r -> flip_reg r
+      | None -> ())
   in
-  let flip_dst instr =
-    match Instr.dst instr with
-    | Some d -> flip_reg d
-    | None -> ()
+  let flip_dst pc instr =
+    let d =
+      match decoded with
+      | Some dec -> Decode.dst_at dec pc
+      | None -> Instr.dst_index instr
+    in
+    if d >= 0 then flip_reg d
   in
   let result =
     try
@@ -182,7 +205,7 @@ let exec (kernel : Kernel.t) ~scalars ~buffers ~budget ?injection ?(burst = 1) ?
           let injecting = dyn = inj_dyn in
           if injecting then begin
             match inj_operand with
-            | Osrc k -> flip_src instr k
+            | Osrc k -> flip_src !pc instr k
             | Odst -> ()
           end;
           let next = ref (!pc + 1) in
@@ -225,22 +248,14 @@ let exec (kernel : Kernel.t) ~scalars ~buffers ~budget ?injection ?(burst = 1) ?
           | Instr.Jmp l -> next := l
           | Instr.Br (c, l1, l2) -> next := (if as_int regs.(c) <> 0L then l1 else l2)
           | Instr.Halt -> continue := false);
-          if injecting && inj_operand = Odst then flip_dst instr;
+          if injecting && inj_operand = Odst then flip_dst !pc instr;
           pc := !next
         end
       done;
       !status
     with Trap t -> Trapped t
   in
-  Telemetry.incr m_execs;
-  Telemetry.add m_instructions !executed;
-  (match result with
-  | Finished -> ()
-  | Out_of_budget -> Telemetry.incr m_timeouts
-  | Trapped Out_of_bounds -> Telemetry.incr m_trap_oob
-  | Trapped Div_by_zero -> Telemetry.incr m_trap_div
-  | Trapped Invalid_conversion -> Telemetry.incr m_trap_conv
-  | Trapped Type_confusion -> Telemetry.incr m_trap_confusion);
+  telemetry_record result ~executed:!executed;
   { status = result; executed = !executed }
 
 let pp_trap fmt t =

@@ -50,6 +50,7 @@ val exec :
   scalars:Ff_ir.Value.t list ->
   buffers:Ff_ir.Value.t array array ->
   budget:int ->
+  ?decoded:Decode.t ->
   ?injection:injection ->
   ?burst:int ->
   ?trace:Trace.t ->
@@ -60,8 +61,17 @@ val exec :
     bound to the kernel's slot-th buffer parameter and is mutated in place.
     [scalars] are preloaded into registers 0.. in declaration order.
     If [trace] is given, every executed static instruction index is
-    appended to it. Raises [Invalid_argument] if the scalar count does not
+    appended to it. [decoded] must be the decoding of this very kernel
+    when given; it lets injected replays address the flipped operand
+    through the decode-time operand tables instead of allocating an
+    operand list. Raises [Invalid_argument] if the scalar count does not
     match the kernel signature or the buffer array has the wrong arity. *)
+
+val telemetry_record : status -> executed:int -> unit
+(** Bump the per-exec VM telemetry (execs, instructions, trap kinds) for
+    one finished run — shared by every execution engine so the
+    [vm.instructions]/[vm.trap.*] counters mean the same thing on the
+    boxed and unboxed paths. *)
 
 val pp_trap : Format.formatter -> trap -> unit
 

@@ -4,6 +4,19 @@ type anomaly =
   | Trap of Machine.trap
   | Timeout
 
+type engine =
+  | Boxed
+  | Unboxed
+
+(* The unboxed engine is the default: it is bit-identical to the boxed
+   oracle (differentially tested) and several times faster per replay.
+   FF_ENGINE=boxed forces the reference interpreter everywhere — the
+   escape hatch when triaging a suspected engine divergence. *)
+let default_engine =
+  match Sys.getenv_opt "FF_ENGINE" with
+  | Some s when String.lowercase_ascii s = "boxed" -> Boxed
+  | _ -> Unboxed
+
 type section_replay = {
   s_anomaly : anomaly option;
   s_output_sdc : (int * float) array;
@@ -45,49 +58,96 @@ let status_anomaly = function
   | Machine.Trapped t -> Some (Trap t)
   | Machine.Out_of_budget -> Some Timeout
 
-let run_section ?(burst = 1) golden (section : Golden.section_run) injection ~timeout_factor =
+let anomalous_section run =
+  {
+    s_anomaly = status_anomaly run.Machine.status;
+    s_output_sdc = [||];
+    s_side_effect = false;
+    s_nonfinite = false;
+    s_executed = run.Machine.executed;
+  }
+
+let run_section_boxed ~burst golden (section : Golden.section_run) injection
+    ~timeout_factor =
+  let plan = Workspace.plan_of golden in
   let state = Array.map Array.copy section.Golden.entry_state in
   let buffers = Array.map (fun (idx, _) -> state.(idx)) section.Golden.bindings in
   let budget = budget_of ~timeout_factor section.Golden.dyn_count in
   let run =
     Machine.exec section.Golden.kernel ~scalars:section.Golden.scalars ~buffers ~budget
-      ~injection ~burst ()
+      ~decoded:section.Golden.decoded ~injection ~burst ()
   in
   match status_anomaly run.Machine.status with
-  | Some a ->
-    {
-      s_anomaly = Some a;
-      s_output_sdc = [||];
-      s_side_effect = false;
-      s_nonfinite = false;
-      s_executed = run.Machine.executed;
-    }
+  | Some _ -> anomalous_section run
   | None ->
-    let golden_exit = Golden.exit_state golden section.Golden.section_index in
-    let writable_buf_indices =
-      Array.to_list section.Golden.bindings
-      |> List.filter_map (fun (idx, role) ->
-             if Kernel.role_writable role then Some idx else None)
-      |> List.sort_uniq compare
-    in
+    let si = section.Golden.section_index in
+    let golden_exit = Golden.exit_state golden si in
+    let writable_idx = plan.Workspace.writable_idx.(si) in
     let output_sdc =
-      List.map (fun idx -> (idx, buffer_distance golden_exit.(idx) state.(idx)))
-        writable_buf_indices
-      |> Array.of_list
+      Array.map (fun idx -> (idx, buffer_distance golden_exit.(idx) state.(idx)))
+        writable_idx
     in
     let side_effect =
-      (* any buffer outside the writable set that differs from golden exit *)
-      let nbufs = Array.length state in
+      (* any bound-but-not-writable buffer that differs from golden exit;
+         unbound buffers cannot have changed, so the plan's scan index is
+         the complete set to inspect *)
+      let scan_idx = plan.Workspace.scan_idx.(si) in
+      let n = Array.length scan_idx in
       let rec scan i =
-        if i >= nbufs then false
-        else if List.mem i writable_buf_indices then scan (i + 1)
-        else if buffer_distance ~stop_at:0.0 golden_exit.(i) state.(i) > 0.0 then true
-        else scan (i + 1)
+        if i >= n then false
+        else
+          let idx = scan_idx.(i) in
+          if buffer_distance ~stop_at:0.0 golden_exit.(idx) state.(idx) > 0.0 then true
+          else scan (i + 1)
+      in
+      scan 0
+    in
+    let nonfinite = Array.exists (fun idx -> has_nonfinite state.(idx)) writable_idx in
+    {
+      s_anomaly = None;
+      s_output_sdc = output_sdc;
+      s_side_effect = side_effect;
+      s_nonfinite = nonfinite;
+      s_executed = run.Machine.executed;
+    }
+
+let run_section_unboxed ~burst golden (section : Golden.section_run) injection
+    ~timeout_factor =
+  let plan = Workspace.plan_of golden in
+  let ws = Workspace.get plan in
+  let si = section.Golden.section_index in
+  Workspace.load_section_entry ws si;
+  let budget = budget_of ~timeout_factor section.Golden.dyn_count in
+  let run =
+    Unboxed.exec section.Golden.decoded ~regs:ws.Workspace.regs ~rtags:ws.Workspace.rtags
+      ~scal_words:plan.Workspace.scal_words.(si) ~scal_tags:plan.Workspace.scal_tags.(si)
+      ~buffers:ws.Workspace.views.(si) ~btags:ws.Workspace.vtags.(si) ~budget ~injection
+      ~burst ()
+  in
+  match status_anomaly run.Machine.status with
+  | Some _ -> anomalous_section run
+  | None ->
+    let exit_u = plan.Workspace.states.(si + 1) in
+    let state = ws.Workspace.state in
+    let writable_idx = plan.Workspace.writable_idx.(si) in
+    let output_sdc =
+      Array.map (fun idx -> (idx, Ustate.buffer_distance exit_u idx state idx))
+        writable_idx
+    in
+    let side_effect =
+      let scan_idx = plan.Workspace.scan_idx.(si) in
+      let n = Array.length scan_idx in
+      let rec scan i =
+        if i >= n then false
+        else
+          let idx = scan_idx.(i) in
+          if Ustate.buffer_distance ~stop_at:0.0 exit_u idx state idx > 0.0 then true
+          else scan (i + 1)
       in
       scan 0
     in
     let nonfinite =
-      List.exists (fun idx -> has_nonfinite state.(idx)) writable_buf_indices
+      Array.exists (fun idx -> Ustate.has_nonfinite state idx) writable_idx
     in
     {
       s_anomaly = None;
@@ -96,6 +156,12 @@ let run_section ?(burst = 1) golden (section : Golden.section_run) injection ~ti
       s_nonfinite = nonfinite;
       s_executed = run.Machine.executed;
     }
+
+let run_section ?(burst = 1) ?(engine = default_engine) golden
+    (section : Golden.section_run) injection ~timeout_factor =
+  match engine with
+  | Boxed -> run_section_boxed ~burst golden section injection ~timeout_factor
+  | Unboxed -> run_section_unboxed ~burst golden section injection ~timeout_factor
 
 let states_equal a b =
   let n = Array.length a in
@@ -114,10 +180,17 @@ let states_equal a b =
   in
   buffers_equal 0
 
-let run_to_end ?(burst = 1) golden ~from_section injection ~timeout_factor =
+let converged_program golden ~executed =
+  {
+    p_anomaly = None;
+    p_final_sdc =
+      Program.output_buffers golden.Golden.program |> List.map (fun (idx, _) -> (idx, 0.0));
+    p_nonfinite = false;
+    p_executed = executed;
+  }
+
+let run_to_end_boxed ~burst golden ~from_section injection ~timeout_factor =
   let sections = golden.Golden.sections in
-  if from_section < 0 || from_section >= Array.length sections then
-    invalid_arg "Replay.run_to_end: section index out of range";
   let state = Array.map Array.copy sections.(from_section).Golden.entry_state in
   let executed = ref 0 in
   let anomaly = ref None in
@@ -130,7 +203,7 @@ let run_to_end ?(burst = 1) golden ~from_section injection ~timeout_factor =
     let inj = if !i = from_section then Some injection else None in
     let run =
       Machine.exec section.Golden.kernel ~scalars:section.Golden.scalars ~buffers ~budget
-        ?injection:inj ~burst ()
+        ~decoded:section.Golden.decoded ?injection:inj ~burst ()
     in
     executed := !executed + run.Machine.executed;
     anomaly := status_anomaly run.Machine.status;
@@ -143,31 +216,82 @@ let run_to_end ?(burst = 1) golden ~from_section injection ~timeout_factor =
       converged := true;
     incr i
   done;
-  if !converged then
-    {
-      p_anomaly = None;
-      p_final_sdc =
-        Program.output_buffers golden.Golden.program |> List.map (fun (idx, _) -> (idx, 0.0));
-      p_nonfinite = false;
-      p_executed = !executed;
-    }
+  if !converged then converged_program golden ~executed:!executed
   else
-  match !anomaly with
-  | Some a ->
-    { p_anomaly = Some a; p_final_sdc = []; p_nonfinite = false; p_executed = !executed }
-  | None ->
-    let final_sdc =
-      Program.output_buffers golden.Golden.program
-      |> List.map (fun (idx, _) ->
-             (idx, buffer_distance golden.Golden.final_state.(idx) state.(idx)))
+    match !anomaly with
+    | Some a ->
+      { p_anomaly = Some a; p_final_sdc = []; p_nonfinite = false; p_executed = !executed }
+    | None ->
+      let final_sdc =
+        Program.output_buffers golden.Golden.program
+        |> List.map (fun (idx, _) ->
+               (idx, buffer_distance golden.Golden.final_state.(idx) state.(idx)))
+      in
+      let nonfinite =
+        Program.output_buffers golden.Golden.program
+        |> List.exists (fun (idx, _) -> has_nonfinite state.(idx))
+      in
+      {
+        p_anomaly = None;
+        p_final_sdc = final_sdc;
+        p_nonfinite = nonfinite;
+        p_executed = !executed;
+      }
+
+let run_to_end_unboxed ~burst golden ~from_section injection ~timeout_factor =
+  let plan = Workspace.plan_of golden in
+  let ws = Workspace.get plan in
+  Workspace.load_entry ws from_section;
+  let state = ws.Workspace.state in
+  let sections = golden.Golden.sections in
+  let nsections = Array.length sections in
+  let executed = ref 0 in
+  let anomaly = ref None in
+  let i = ref from_section in
+  let converged = ref false in
+  while (not !converged) && !anomaly = None && !i < nsections do
+    let section = sections.(!i) in
+    let budget = budget_of ~timeout_factor section.Golden.dyn_count in
+    let inj = if !i = from_section then Some injection else None in
+    let run =
+      Unboxed.exec section.Golden.decoded ~regs:ws.Workspace.regs
+        ~rtags:ws.Workspace.rtags ~scal_words:plan.Workspace.scal_words.(!i)
+        ~scal_tags:plan.Workspace.scal_tags.(!i) ~buffers:ws.Workspace.views.(!i)
+        ~btags:ws.Workspace.vtags.(!i) ~budget ?injection:inj ~burst ()
     in
-    let nonfinite =
-      Program.output_buffers golden.Golden.program
-      |> List.exists (fun (idx, _) -> has_nonfinite state.(idx))
-    in
-    {
-      p_anomaly = None;
-      p_final_sdc = final_sdc;
-      p_nonfinite = nonfinite;
-      p_executed = !executed;
-    }
+    executed := !executed + run.Machine.executed;
+    anomaly := status_anomaly run.Machine.status;
+    if !anomaly = None && Ustate.equal state plan.Workspace.states.(!i + 1) then
+      converged := true;
+    incr i
+  done;
+  if !converged then converged_program golden ~executed:!executed
+  else
+    match !anomaly with
+    | Some a ->
+      { p_anomaly = Some a; p_final_sdc = []; p_nonfinite = false; p_executed = !executed }
+    | None ->
+      let final_u = plan.Workspace.states.(nsections) in
+      let final_sdc =
+        Program.output_buffers golden.Golden.program
+        |> List.map (fun (idx, _) -> (idx, Ustate.buffer_distance final_u idx state idx))
+      in
+      let nonfinite =
+        Program.output_buffers golden.Golden.program
+        |> List.exists (fun (idx, _) -> Ustate.has_nonfinite state idx)
+      in
+      {
+        p_anomaly = None;
+        p_final_sdc = final_sdc;
+        p_nonfinite = nonfinite;
+        p_executed = !executed;
+      }
+
+let run_to_end ?(burst = 1) ?(engine = default_engine) golden ~from_section injection
+    ~timeout_factor =
+  let sections = golden.Golden.sections in
+  if from_section < 0 || from_section >= Array.length sections then
+    invalid_arg "Replay.run_to_end: section index out of range";
+  match engine with
+  | Boxed -> run_to_end_boxed ~burst golden ~from_section injection ~timeout_factor
+  | Unboxed -> run_to_end_unboxed ~burst golden ~from_section injection ~timeout_factor

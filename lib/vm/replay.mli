@@ -16,6 +16,18 @@ type anomaly =
   | Trap of Machine.trap
   | Timeout
 
+type engine =
+  | Boxed    (** the tree-walking {!Machine} — the reference oracle *)
+  | Unboxed  (** the pre-decoded {!Unboxed} engine over zero-copy
+                 {!Workspace} scratch — bit-identical, several times
+                 faster *)
+
+val default_engine : engine
+(** [Unboxed], unless the [FF_ENGINE=boxed] environment variable forces
+    the reference interpreter (the triage escape hatch). Both engines
+    produce bit-identical classifications, so the choice never changes
+    results — only speed. *)
+
 val buffer_distance :
   ?stop_at:float -> Ff_ir.Value.t array -> Ff_ir.Value.t array -> float
 (** [buffer_distance golden actual] is the largest element-wise |Δ|
@@ -41,11 +53,14 @@ type section_replay = {
 
 val run_section :
   ?burst:int ->
+  ?engine:engine ->
   Golden.t -> Golden.section_run -> Machine.injection -> timeout_factor:float ->
   section_replay
 (** Replay one section in isolation with an injected bitflip. The section
     budget is [timeout_factor] × its golden dynamic instruction count
-    (the paper uses 5×). *)
+    (the paper uses 5×). The unboxed engine (default) runs in this
+    domain's reusable workspace — per-replay setup is a blit of the entry
+    state, not an allocation. *)
 
 type program_replay = {
   p_anomaly : anomaly option;
@@ -57,6 +72,7 @@ type program_replay = {
 
 val run_to_end :
   ?burst:int ->
+  ?engine:engine ->
   Golden.t -> from_section:int -> Machine.injection -> timeout_factor:float ->
   program_replay
 (** Replay the program from the entry of section [from_section] (injecting

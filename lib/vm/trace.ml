@@ -14,6 +14,8 @@ let add t x =
   t.data.(t.len) <- x;
   t.len <- t.len + 1
 
+let clear t = t.len <- 0
+
 let length t = t.len
 
 let get t i =

@@ -10,6 +10,10 @@ val create : unit -> t
 
 val add : t -> int -> unit
 
+val clear : t -> unit
+(** Reset to length zero, keeping the backing storage — replay
+    workspaces reuse one trace across thousands of runs. *)
+
 val length : t -> int
 
 val get : t -> int -> int

@@ -1,0 +1,51 @@
+(** The unboxed execution engine.
+
+    Executes a pre-decoded kernel ({!Decode.t}) over raw 64-bit words
+    ({!Ustate.words}, bit-punned between float64 and int64 views of the
+    same memory) with parallel per-element type-tag bytes — no
+    constructor matching, no boxing, no conversion calls, no allocation
+    in the hot loop; an injected bit flip is a single XOR against the
+    register word. The boxed {!Machine} remains the reference oracle:
+    for identical inputs the two engines produce bit-identical statuses,
+    executed counts, buffer contents, and traces (enforced by the
+    differential tests). *)
+
+val exec :
+  Decode.t ->
+  regs:Ustate.words ->
+  rtags:Bytes.t ->
+  scal_words:Ustate.words ->
+  scal_tags:Bytes.t ->
+  buffers:Ustate.words array ->
+  btags:Bytes.t array ->
+  budget:int ->
+  ?injection:Machine.injection ->
+  ?burst:int ->
+  ?trace:Trace.t ->
+  unit ->
+  Machine.run
+(** [exec d ~regs ~rtags ...] runs the decoded kernel over the unboxed
+    buffer views [buffers]/[btags] (indexed by kernel slot, mutated in
+    place). [regs]/[rtags] are a caller-owned register scratch of length
+    at least [d.nregs]; the first [d.nregs] entries are reset and the
+    scalar words [scal_words]/[scal_tags] staged into registers 0.. on
+    entry, so one scratch serves any number of runs (the zero-copy
+    workspace contract). The caller is responsible for shape agreement
+    with [d]; register indices are not bounds-checked at runtime
+    (decode-time validation licenses that), while data-dependent buffer
+    indices keep their checks and trap [Out_of_bounds]. *)
+
+val exec_values :
+  Decode.t ->
+  scalars:Ff_ir.Value.t list ->
+  buffers:Ff_ir.Value.t array array ->
+  budget:int ->
+  ?injection:Machine.injection ->
+  ?burst:int ->
+  ?trace:Trace.t ->
+  unit ->
+  Machine.run
+(** Boxed-I/O convenience with {!Machine.exec}'s exact argument contract
+    (same [Invalid_argument] conditions and messages): converts to the
+    unboxed form, runs, and writes mutated buffers back. Meant for
+    differential tests and one-off runs, not the replay hot path. *)
