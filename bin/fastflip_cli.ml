@@ -97,26 +97,88 @@ let store_arg =
   Arg.(value & opt (some string) None & info [ "store" ] ~docv:"PATH"
          ~doc:"Persistent analysis store: loaded before the analysis (section                results whose code, inputs and configuration are unchanged are                reused) and saved back afterwards — the CI workflow of the paper.")
 
-let with_store store_path k =
+let strict_store_arg =
+  Arg.(value & flag & info [ "strict-store" ]
+         ~doc:"Refuse to run if the store has corrupt or unreadable records               (the default salvages every intact record and warns).")
+
+let with_store ~strict store_path k =
   match store_path with
   | None -> k (Fastflip.Store.create ())
   | Some path ->
     let store =
       if Sys.file_exists path then begin
         match Fastflip.Persist.load ~path with
-        | Ok store ->
+        | Ok (store, skipped) ->
+          if skipped > 0 then begin
+            if strict then begin
+              Printf.eprintf "fastflip: store %s: %d corrupt record(s) refused by --strict-store\n"
+                path skipped;
+              exit 1
+            end;
+            Printf.eprintf "warning: store %s: skipped %d corrupt record(s)\n" path skipped
+          end;
           Printf.printf "loaded %d section records from %s\n" (Fastflip.Store.size store) path;
           store
         | Error e ->
+          if strict then begin
+            Printf.eprintf "fastflip: store %s refused by --strict-store: %s\n" path e;
+            exit 1
+          end;
           Printf.eprintf "ignoring store %s: %s\n" path e;
           Fastflip.Store.create ()
       end
       else Fastflip.Store.create ()
     in
     let result = k store in
-    Fastflip.Persist.save store ~path;
-    Printf.printf "saved %d section records to %s\n" (Fastflip.Store.size store) path;
+    let saved = Fastflip.Persist.save store ~path in
+    Printf.printf "saved %d section records to %s\n" saved path;
     result
+
+let checkpoint_every_arg =
+  Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~docv:"N"
+         ~doc:"Checkpoint campaign progress every $(docv) equivalence classes to               a journal next to the store ($(b,--store) required); a killed run               restarted with $(b,--resume) replays only the unfinished classes.               0 (the default) disables checkpointing.")
+
+let resume_arg =
+  Arg.(value & flag & info [ "resume" ]
+         ~doc:"Resume from the checkpoint journal left by a killed run               (requires $(b,--checkpoint-every)). Results are bit-identical to               an uninterrupted run.")
+
+(* The journal outlives the process on a crash by design; it is removed
+   only after [k] returns, i.e. after the store save inside it succeeded.
+   Progress chatter goes to stderr so resumed stdout diffs clean against
+   an uninterrupted run. *)
+let with_checkpoint ~store_path ~every ~resume k =
+  if every < 0 then begin
+    Printf.eprintf "fastflip: --checkpoint-every must be >= 0\n";
+    exit 1
+  end;
+  if every = 0 then begin
+    if resume then begin
+      Printf.eprintf "fastflip: --resume requires --checkpoint-every\n";
+      exit 1
+    end;
+    k None
+  end
+  else
+    match store_path with
+    | None ->
+      Printf.eprintf "fastflip: --checkpoint-every requires --store\n";
+      exit 1
+    | Some path -> (
+      let jpath = path ^ ".journal" in
+      match Fastflip.Checkpoint.start ~path:jpath ~every ~resume () with
+      | Error e ->
+        Printf.eprintf "fastflip: cannot open checkpoint journal %s: %s\n" jpath e;
+        exit 1
+      | Ok ckpt ->
+        if resume then
+          Printf.eprintf "resuming: %d class outcome(s) restored from %s%s\n%!"
+            (Fastflip.Checkpoint.loaded ckpt) jpath
+            (match Fastflip.Checkpoint.skipped ckpt with
+            | 0 -> ""
+            | n -> Printf.sprintf " (%d corrupt region(s) skipped)" n);
+        let result = k (Some ckpt) in
+        Fastflip.Checkpoint.remove ckpt;
+        result)
 
 (* --- compile -------------------------------------------------------------- *)
 
@@ -153,14 +215,15 @@ let run_cmd =
 (* --- analyze ---------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run path target bits samples epsilon store_path jobs metrics =
+  let run path target bits samples epsilon store_path strict jobs metrics every resume =
     let config = { (config_of ~bits ~samples) with Pipeline.epsilon } in
     let program = compile_file path in
     let analysis =
       with_metrics metrics (fun () ->
           with_jobs jobs (fun pool ->
-              with_store store_path (fun store ->
-                  Pipeline.analyze ~store ~pool config program)))
+              with_checkpoint ~store_path ~every ~resume (fun checkpoint ->
+                  with_store ~strict store_path (fun store ->
+                      Pipeline.analyze ~store ~pool ?checkpoint config program))))
     in
     Printf.printf "sections reused from the store: %d/%d\n"
       analysis.Pipeline.sections_reused
@@ -202,7 +265,7 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the full FastFlip analysis on a program and print the selection.")
-    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ store_arg $ jobs_arg $ metrics_arg)
+    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ store_arg $ strict_store_arg $ jobs_arg $ metrics_arg $ checkpoint_every_arg $ resume_arg)
 
 (* --- compare ----------------------------------------------------------------- *)
 

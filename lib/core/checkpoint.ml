@@ -1,0 +1,175 @@
+module Campaign = Ff_inject.Campaign
+module Outcome = Ff_inject.Outcome
+module Telemetry = Ff_support.Telemetry
+
+let m_appends = Telemetry.counter "checkpoint.appends"
+let m_appended = Telemetry.counter "checkpoint.classes_appended"
+let m_restored = Telemetry.counter "checkpoint.classes_loaded"
+let m_salvage_skips = Telemetry.counter "checkpoint.skipped_regions"
+
+let magic = "FFJRNL1!"
+
+exception Simulated_crash
+
+type t = {
+  path : string;
+  every : int;
+  entries : (Store.key * int, Outcome.section_outcome * int) Hashtbl.t;
+  mutable oc : out_channel option;
+  mu : Mutex.t;
+  mutable appends : int;
+  skipped : int;
+  crash_after : int option;
+  kill_after : int option;
+}
+
+(* One journal entry: which section (by store key — stable across process
+   runs and schedule positions), which equivalence class (by index in the
+   deterministic enumeration order), and what happened. *)
+let w_entry buf (key, idx, outcome, work) =
+  Wire.w_key buf key;
+  Wire.w_int buf idx;
+  Wire.w_section_outcome buf outcome;
+  Wire.w_int buf work
+
+let r_entry c =
+  let key = Wire.r_key c in
+  let idx = Wire.r_int c in
+  let outcome = Wire.r_section_outcome c in
+  let work = Wire.r_int c in
+  (key, idx, outcome, work)
+
+let kill_after_env () =
+  match Sys.getenv_opt "FF_CHECKPOINT_KILL_AFTER" with
+  | None -> None
+  | Some s -> int_of_string_opt (String.trim s)
+
+let read_entries path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | exception End_of_file -> Error (path ^ ": truncated while reading")
+  | data ->
+    if String.length data < String.length magic
+       || not (String.equal (String.sub data 0 (String.length magic)) magic)
+    then Error "not a FastFlip checkpoint journal"
+    else begin
+      let frames, skipped = Wire.read_frames ~pos:(String.length magic) data in
+      let entries = Hashtbl.create 256 in
+      let decode_skips = ref 0 in
+      List.iter
+        (fun payload ->
+          match
+            let c = Wire.cursor payload in
+            let batch = Wire.r_list c r_entry "journal batch" in
+            if Wire.at_end c then Some batch else None
+          with
+          | Some batch ->
+            List.iter
+              (fun (key, idx, outcome, work) ->
+                Hashtbl.replace entries (key, idx) (outcome, work))
+              batch
+          | None -> incr decode_skips
+          | exception Wire.Corrupt _ -> incr decode_skips)
+        frames;
+      Ok (entries, skipped + !decode_skips)
+    end
+
+let start ?crash_after ~path ~every ~resume () =
+  if every < 1 then invalid_arg "Checkpoint.start: every must be >= 1";
+  let fresh () =
+    match
+      let oc = open_out_bin path in
+      output_string oc magic;
+      flush oc;
+      oc
+    with
+    | oc -> Ok (Hashtbl.create 256, 0, oc)
+    | exception Sys_error e -> Error e
+  in
+  let opened =
+    if resume && Sys.file_exists path then
+      match read_entries path with
+      | Error e -> Error e
+      | Ok (entries, skipped) -> (
+        (* Append after whatever is there — including a corrupt tail: the
+           salvaging reader skips damaged frames, and fresh frames appended
+           after them resync on their markers. *)
+        match open_out_gen [ Open_append; Open_binary ] 0o644 path with
+        | oc -> Ok (entries, skipped, oc)
+        | exception Sys_error e -> Error e)
+    else fresh ()
+  in
+  match opened with
+  | Error e -> Error e
+  | Ok (entries, skipped, oc) ->
+    Telemetry.add m_restored (Hashtbl.length entries);
+    Telemetry.add m_salvage_skips skipped;
+    Ok
+      {
+        path;
+        every;
+        entries;
+        oc = Some oc;
+        mu = Mutex.create ();
+        appends = 0;
+        skipped;
+        crash_after;
+        kill_after = kill_after_env ();
+      }
+
+let path t = t.path
+let loaded t = Hashtbl.length t.entries
+let skipped t = t.skipped
+
+let append t ~key batch =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  match t.oc with
+  | None -> invalid_arg "Checkpoint.append: journal is closed"
+  | Some oc ->
+    let buf = Buffer.create 1024 in
+    Wire.w_list buf w_entry
+      (List.map (fun (idx, outcome, work) -> (key, idx, outcome, work)) batch);
+    output_string oc (Wire.frame (Buffer.contents buf));
+    flush oc;
+    (* The whole point of a checkpoint is surviving SIGKILL/power loss:
+       push it to the device before reporting the batch complete. *)
+    (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+    t.appends <- t.appends + 1;
+    Telemetry.incr m_appends;
+    Telemetry.add m_appended (List.length batch);
+    (match t.kill_after with
+    | Some k when t.appends >= k -> Unix.kill (Unix.getpid ()) Sys.sigkill
+    | Some _ | None -> ());
+    (match t.crash_after with
+    | Some k when t.appends >= k -> raise Simulated_crash
+    | Some _ | None -> ())
+
+let journal t ~key =
+  let j_done = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (k, idx) v -> if k = key then Hashtbl.replace j_done idx v)
+    t.entries;
+  {
+    Campaign.j_every = t.every;
+    j_done;
+    j_append = (fun batch -> append t ~key batch);
+  }
+
+let close t =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    t.oc <- None;
+    close_out_noerr oc
+
+let remove t =
+  close t;
+  try Sys.remove t.path with Sys_error _ -> ()

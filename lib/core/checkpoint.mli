@@ -1,0 +1,72 @@
+(** Crash-safe campaign checkpointing.
+
+    Injection campaigns are the expensive part of the analysis (99% of
+    FastFlip's time, §6.2), and on a long run a crash — OOM kill, node
+    preemption, ctrl-C — used to cost every completed injection. This
+    module keeps an append-only {e journal} of completed equivalence-class
+    outcomes next to the store: {!Pipeline.analyze} (via
+    {!Ff_inject.Campaign.run_section}) appends a CRC-framed, fsynced
+    batch every [every] classes, and a resumed run restores those
+    outcomes instead of replaying them, finishing with {e bit-identical}
+    results (outcomes and work counters both ride in the journal).
+
+    Entries are keyed by the section's store key (code, input, config
+    hashes) plus the class index in the deterministic enumeration order,
+    so a journal survives process restarts, schedule reindexing, and even
+    sections from several interleaved analyses. The file format shares
+    {!Wire}'s salvaging frame reader: a journal whose tail was mangled by
+    the crash that killed the process still resumes from its last intact
+    batch.
+
+    The journal is a cache of in-flight work, not a second store: once
+    the analysis completes and the store is saved, {!remove} it. *)
+
+type t
+
+exception Simulated_crash
+(** Raised by the fault-injection hook ([crash_after]); see {!start}. *)
+
+val start :
+  ?crash_after:int ->
+  path:string ->
+  every:int ->
+  resume:bool ->
+  unit ->
+  (t, string) result
+(** Open the journal at [path]. With [resume = false] (or no existing
+    file) the journal starts empty, truncating any leftover; with
+    [resume = true] every salvageable entry of the existing file is
+    loaded and new batches are appended after it. [every] (>= 1,
+    [Invalid_argument] otherwise) is the checkpoint cadence in classes.
+
+    [crash_after: k] is a deterministic fault-injection hook for tests:
+    the [k]-th append raises {!Simulated_crash} {e after} the batch is
+    durably written — exactly the state a real mid-campaign kill leaves
+    behind. The [FF_CHECKPOINT_KILL_AFTER] environment variable is the
+    out-of-process version used by the CI crash-recovery smoke test: the
+    process SIGKILLs itself instead. *)
+
+val journal : t -> key:Store.key -> Ff_inject.Campaign.journal
+(** The campaign-facing view for one section: previously checkpointed
+    outcomes of that key as [j_done], and an append hook that frames,
+    writes, and fsyncs each completed batch. Appends are serialized by an
+    internal mutex and safe from pool worker domains. *)
+
+val loaded : t -> int
+(** Class outcomes restored from disk at {!start} time (0 unless
+    resuming). *)
+
+val skipped : t -> int
+(** Corrupt journal regions skipped by the salvaging reader at {!start}
+    time. *)
+
+val path : t -> string
+
+val close : t -> unit
+(** Flush and close the journal file, keeping it on disk (a later
+    [--resume] picks it up). Idempotent; appending afterwards is a
+    programming error ([Invalid_argument]). *)
+
+val remove : t -> unit
+(** {!close} and delete the journal — call once the analysis results have
+    made it into the saved store. *)

@@ -1,258 +1,208 @@
-module Site = Ff_inject.Site
-module Eqclass = Ff_inject.Eqclass
-module Outcome = Ff_inject.Outcome
-module Campaign = Ff_inject.Campaign
-module Sensitivity = Ff_sensitivity.Sensitivity
+module Telemetry = Ff_support.Telemetry
 
-let magic = "FFSTORE1"
+(* Salvage and write-path telemetry: how often the store survives a
+   corrupt file, and how much it loses when it does. *)
+let m_saves = Telemetry.counter "persist.saves"
+let m_merged = Telemetry.counter "persist.saves.merged_records"
+let m_loads = Telemetry.counter "persist.loads"
+let m_loaded = Telemetry.counter "persist.records_loaded"
+let m_skipped = Telemetry.counter "persist.records_skipped"
 
-(* --- writer ---------------------------------------------------------------- *)
+let magic_v2 = "FFSTORE2"
+let magic_v1 = "FFSTORE1"
 
-let w_int64 buf v =
-  for i = 0 to 7 do
-    Buffer.add_char buf (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
-  done
+(* --- file primitives -------------------------------------------------------- *)
 
-let w_int buf v = w_int64 buf (Int64.of_int v)
-let w_float buf v = w_int64 buf (Int64.bits_of_float v)
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | data -> Ok data
+  | exception Sys_error e -> Error e
+  (* A concurrent truncation between [in_channel_length] and the read
+     surfaces as End_of_file, not Sys_error — fail cleanly, don't leak. *)
+  | exception End_of_file -> Error (path ^ ": truncated while reading")
 
-let w_array buf w_elem arr =
-  w_int buf (Array.length arr);
-  Array.iter (w_elem buf) arr
+(* Crash-safe replacement: write a sibling temp file, fsync it, then
+   rename over the target. Readers see either the old store or the new
+   one, never a half-written hybrid; a crash mid-save leaves the previous
+   store untouched. *)
+let write_atomic ~path data =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644 in
+  (try
+     Fun.protect
+       ~finally:(fun () -> Unix.close fd)
+       (fun () ->
+         let len = String.length data in
+         let off = ref 0 in
+         while !off < len do
+           off := !off + Unix.write_substring fd data !off (len - !off)
+         done;
+         Unix.fsync fd)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  (* Best-effort directory sync so the rename itself survives power loss;
+     not all filesystems support it, so failures are ignored. *)
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | dirfd ->
+    (try Unix.fsync dirfd with Unix.Unix_error _ -> ());
+    Unix.close dirfd
+  | exception Unix.Unix_error _ -> ()
 
-let w_list buf w_elem xs =
-  w_int buf (List.length xs);
-  List.iter (w_elem buf) xs
+(* Advisory writer lock ([path].lock): two concurrent fastflip processes
+   saving to the same store serialize here, and because [save] re-reads
+   and merges under the lock, the second writer folds the first writer's
+   records in instead of clobbering them. *)
+let with_lock ~path f =
+  let fd = Unix.openfile (path ^ ".lock") [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+      Unix.close fd)
+    (fun () ->
+      Unix.lockf fd Unix.F_LOCK 0;
+      f ())
 
-let w_pc buf (pc : Site.pc) =
-  w_int buf pc.Site.kernel;
-  w_int buf pc.Site.instr
+(* --- load ------------------------------------------------------------------- *)
 
-let w_operand buf = function
-  | Site.Src i ->
-    w_int buf 0;
-    w_int buf i
-  | Site.Dst ->
-    w_int buf 1;
-    w_int buf 0
+let load_v2 data =
+  let frames, frame_skips = Wire.read_frames ~pos:(String.length magic_v2 + 8) data in
+  let store = Store.create () in
+  let decode_skips = ref 0 in
+  List.iter
+    (fun payload ->
+      match
+        let c = Wire.cursor payload in
+        let record = Wire.r_record c in
+        if Wire.at_end c then Some record else None
+      with
+      | Some record -> Store.add store record
+      | None -> incr decode_skips
+      | exception Wire.Corrupt _ -> incr decode_skips)
+    frames;
+  (* The declared record count catches what frame CRCs cannot: a clean
+     truncation that removes whole trailing frames. A corrupted count is
+     itself CRC-less, so only trust it when plausible. *)
+  let declared =
+    let c = Wire.cursor ~pos:(String.length magic_v2) data in
+    match Wire.r_length c "record count" with
+    | n -> Some n
+    | exception Wire.Corrupt _ -> None
+  in
+  let skipped = frame_skips + !decode_skips in
+  let skipped =
+    match declared with
+    | Some n when n > Store.size store -> max skipped (n - Store.size store)
+    | Some _ | None -> skipped
+  in
+  Ok (store, skipped)
 
-let w_site buf (site : Site.t) =
-  w_int buf site.Site.section;
-  w_int buf site.Site.dyn;
-  w_pc buf site.Site.pc;
-  w_operand buf site.Site.operand;
-  w_int buf site.Site.bit
+let load_v1 data =
+  let c = Wire.cursor ~pos:(String.length magic_v1) data in
+  match Wire.r_length c "record count" with
+  | exception Wire.Corrupt what -> Error ("corrupt store file: " ^ what)
+  | count ->
+    let store = Store.create () in
+    let corrupt = ref false in
+    (try
+       for _ = 1 to count do
+         Store.add store (Wire.r_record c)
+       done
+     with Wire.Corrupt _ -> corrupt := true);
+    let skipped = count - Store.size store in
+    (* Trailing bytes after a fully-parsed v1 store are corruption too;
+       report them as one skip so [--strict-store] notices. *)
+    let skipped = if (not !corrupt) && not (Wire.at_end c) then skipped + 1 else skipped in
+    Ok (store, skipped)
 
-let w_member buf (section, dyn) =
-  w_int buf section;
-  w_int buf dyn
+let load ~path =
+  Telemetry.incr m_loads;
+  match read_file path with
+  | Error e -> Error e
+  | Ok data ->
+    let has_magic magic =
+      String.length data >= String.length magic
+      && String.equal (String.sub data 0 (String.length magic)) magic
+    in
+    let result =
+      if has_magic magic_v2 then load_v2 data
+      else if has_magic magic_v1 then load_v1 data
+      else Error "not a FastFlip store file"
+    in
+    (match result with
+    | Ok (store, skipped) ->
+      Telemetry.add m_loaded (Store.size store);
+      Telemetry.add m_skipped skipped
+    | Error _ -> ());
+    result
 
-let w_class buf (cls : Eqclass.t) =
-  w_pc buf cls.Eqclass.pc;
-  w_operand buf cls.Eqclass.operand;
-  w_int buf cls.Eqclass.bit;
-  w_array buf w_member cls.Eqclass.members;
-  w_site buf cls.Eqclass.pilot
+(* --- save ------------------------------------------------------------------- *)
 
-let w_detected buf = function
-  | Outcome.Crash -> w_int buf 0
-  | Outcome.Timed_out -> w_int buf 1
-  | Outcome.Misformatted -> w_int buf 2
-
-let w_magnitude buf (idx, m) =
-  w_int buf idx;
-  w_float buf m
-
-let w_section_outcome buf = function
-  | Outcome.S_detected kind ->
-    w_int buf 0;
-    w_detected buf kind
-  | Outcome.S_sdc magnitudes ->
-    w_int buf 1;
-    w_array buf w_magnitude magnitudes
-
-let w_campaign buf (c : Campaign.section_result) =
-  w_int buf c.Campaign.section_index;
-  w_array buf
-    (fun buf (cls, outcome) ->
-      w_class buf cls;
-      w_section_outcome buf outcome)
-    c.Campaign.s_classes;
-  w_int buf c.Campaign.s_work;
-  w_int buf c.Campaign.s_injections;
-  w_int buf c.Campaign.s_sites
-
-let w_sensitivity buf (s : Sensitivity.t) =
-  w_int buf s.Sensitivity.section_index;
-  w_array buf w_int s.Sensitivity.input_buffers;
-  w_array buf w_int s.Sensitivity.output_buffers;
-  w_array buf (fun buf row -> w_array buf w_float row) s.Sensitivity.k;
-  w_int buf s.Sensitivity.samples_used;
-  w_int buf s.Sensitivity.work
-
-let w_record buf (r : Store.section_record) =
-  w_int64 buf r.Store.rec_key.Store.code_hash;
-  w_int64 buf r.Store.rec_key.Store.input_hash;
-  w_int64 buf r.Store.rec_key.Store.config_hash;
-  w_campaign buf r.Store.rec_campaign;
-  w_sensitivity buf r.Store.rec_sensitivity;
-  w_int buf r.Store.rec_work
+let encode store =
+  let records = Store.records store in
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf magic_v2;
+  Wire.w_int buf (List.length records);
+  List.iter
+    (fun record ->
+      let payload = Buffer.create 1024 in
+      Wire.w_record payload record;
+      Wire.add_frame buf (Buffer.contents payload))
+    records;
+  Buffer.contents buf
 
 let save store ~path =
+  Telemetry.incr m_saves;
+  with_lock ~path @@ fun () ->
+  (* Merge-don't-clobber: fold in whatever another writer put on disk
+     since we loaded, with our own records winning on key collisions. *)
+  let merged =
+    if not (Sys.file_exists path) then store
+    else
+      match load ~path with
+      | Error _ -> store
+      | Ok (disk, _) ->
+        let ours = Store.records store in
+        let mine = Hashtbl.create 64 in
+        List.iter (fun (r : Store.section_record) -> Hashtbl.replace mine r.Store.rec_key ()) ours;
+        let extra =
+          List.filter
+            (fun (r : Store.section_record) -> not (Hashtbl.mem mine r.Store.rec_key))
+            (Store.records disk)
+        in
+        if extra = [] then store
+        else begin
+          Telemetry.add m_merged (List.length extra);
+          let m = Store.create () in
+          List.iter (Store.add m) extra;
+          List.iter (Store.add m) ours;
+          m
+        end
+  in
+  write_atomic ~path (encode merged);
+  Store.size merged
+
+(* Legacy writer: kept only so compatibility fixtures (and downgrade
+   tooling) can produce real FFSTORE1 files; [save] always writes v2. *)
+let save_legacy_v1 store ~path =
   let buf = Buffer.create (1 lsl 16) in
-  Buffer.add_string buf magic;
-  w_list buf w_record (Store.records store);
+  Buffer.add_string buf magic_v1;
+  Wire.w_list buf Wire.w_record (Store.records store);
   let oc = open_out_bin path in
   Buffer.output_buffer oc buf;
   close_out oc
 
-(* --- reader ----------------------------------------------------------------- *)
-
-exception Corrupt of string
-
-type cursor = {
-  data : string;
-  mutable pos : int;
-}
-
-let r_int64 c =
-  if c.pos + 8 > String.length c.data then raise (Corrupt "truncated int64");
-  let v = ref 0L in
-  for i = 7 downto 0 do
-    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c.data.[c.pos + i]))
-  done;
-  c.pos <- c.pos + 8;
-  !v
-
-let r_int c = Int64.to_int (r_int64 c)
-let r_float c = Int64.float_of_bits (r_int64 c)
-
-let r_length c what =
-  let n = r_int c in
-  if n < 0 || n > 100_000_000 then raise (Corrupt ("implausible length for " ^ what));
-  n
-
-let r_array c r_elem what =
-  let n = r_length c what in
-  Array.init n (fun _ -> r_elem c)
-
-let r_pc c =
-  let kernel = r_int c in
-  let instr = r_int c in
-  { Site.kernel; instr }
-
-let r_operand c =
-  match r_int c with
-  | 0 -> Site.Src (r_int c)
-  | 1 ->
-    ignore (r_int c);
-    Site.Dst
-  | _ -> raise (Corrupt "operand tag")
-
-let r_site c =
-  let section = r_int c in
-  let dyn = r_int c in
-  let pc = r_pc c in
-  let operand = r_operand c in
-  let bit = r_int c in
-  { Site.section; dyn; pc; operand; bit }
-
-let r_member c =
-  let section = r_int c in
-  let dyn = r_int c in
-  (section, dyn)
-
-let r_class c =
-  let pc = r_pc c in
-  let operand = r_operand c in
-  let bit = r_int c in
-  let members = r_array c r_member "class members" in
-  let pilot = r_site c in
-  { Eqclass.pc; operand; bit; members; pilot }
-
-let r_detected c =
-  match r_int c with
-  | 0 -> Outcome.Crash
-  | 1 -> Outcome.Timed_out
-  | 2 -> Outcome.Misformatted
-  | _ -> raise (Corrupt "detected tag")
-
-let r_magnitude c =
-  let idx = r_int c in
-  let m = r_float c in
-  (idx, m)
-
-let r_section_outcome c =
-  match r_int c with
-  | 0 -> Outcome.S_detected (r_detected c)
-  | 1 -> Outcome.S_sdc (r_array c r_magnitude "magnitudes")
-  | _ -> raise (Corrupt "outcome tag")
-
-let r_campaign c =
-  let section_index = r_int c in
-  let s_classes =
-    r_array c
-      (fun c ->
-        let cls = r_class c in
-        let outcome = r_section_outcome c in
-        (cls, outcome))
-      "classes"
-  in
-  let s_work = r_int c in
-  let s_injections = r_int c in
-  let s_sites = r_int c in
-  { Campaign.section_index; s_classes; s_work; s_injections; s_sites }
-
-let r_sensitivity c =
-  let section_index = r_int c in
-  let input_buffers = r_array c r_int "inputs" in
-  let output_buffers = r_array c r_int "outputs" in
-  let k = r_array c (fun c -> r_array c r_float "k row") "k" in
-  let samples_used = r_int c in
-  let work = r_int c in
-  { Sensitivity.section_index; input_buffers; output_buffers; k; samples_used; work }
-
-let r_record c =
-  let code_hash = r_int64 c in
-  let input_hash = r_int64 c in
-  let config_hash = r_int64 c in
-  let rec_campaign = r_campaign c in
-  let rec_sensitivity = r_sensitivity c in
-  let rec_work = r_int c in
-  {
-    Store.rec_key = { Store.code_hash; input_hash; config_hash };
-    rec_campaign;
-    rec_sensitivity;
-    rec_work;
-  }
-
-let load ~path =
-  match
-    let ic = open_in_bin path in
-    let n = in_channel_length ic in
-    let data = really_input_string ic n in
-    close_in ic;
-    data
-  with
-  | exception Sys_error e -> Error e
-  | data -> (
-    if String.length data < String.length magic
-       || not (String.equal (String.sub data 0 (String.length magic)) magic)
-    then Error "not a FastFlip store file"
-    else begin
-      let c = { data; pos = String.length magic } in
-      try
-        let count = r_length c "record count" in
-        let store = Store.create () in
-        for _ = 1 to count do
-          Store.add store (r_record c)
-        done;
-        if c.pos <> String.length data then Error "trailing bytes in store file"
-        else Ok store
-      with Corrupt what -> Error ("corrupt store file: " ^ what)
-    end)
-
 (* --- structural equality (tests) --------------------------------------------- *)
+
+module Outcome = Ff_inject.Outcome
+module Campaign = Ff_inject.Campaign
+module Sensitivity = Ff_sensitivity.Sensitivity
 
 let float_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
 

@@ -3,20 +3,46 @@
     FastFlip "records the analysis results for reuse on future program
     versions" (§1); persisting the store across process runs makes the
     incremental analysis usable from a CI job: load the store produced by
-    the previous commit's job, analyze, save.
+    the previous commit's job, analyze, save. On a production deployment
+    the store {e is} the accumulated value of every campaign ever run, so
+    this layer is built to survive the faults such deployments see:
 
-    The format is a private little-endian binary encoding (magic
-    ["FFSTORE1"]), versioned by the magic string; loading anything else
-    fails cleanly. Records are self-contained — section results, class
-    tables, outcomes, sensitivity matrices, and the (code, input, config)
-    keys that guard their reuse. *)
+    {ul
+    {- {b Corruption}: format [FFSTORE2] frames every record with a
+       length prefix and CRC-32 ({!Wire.frame}); {!load} salvages every
+       intact record from a truncated or bit-flipped file and reports how
+       many it had to skip, instead of dropping the whole store.}
+    {- {b Crashes}: {!save} writes a temp file, fsyncs, and renames it
+       over the target — a crash mid-save leaves the previous store
+       intact.}
+    {- {b Concurrent writers}: {!save} takes an advisory lock
+       ([path].lock) and merges the on-disk records it did not know about
+       before writing, so two fastflip processes sharing a store cannot
+       clobber each other's results.}}
 
-val save : Store.t -> path:string -> unit
-(** Write every record of the store. Raises [Sys_error] on I/O failure. *)
+    Legacy [FFSTORE1] files (no framing) still load; {!save} always
+    writes v2. *)
 
-val load : path:string -> (Store.t, string) result
-(** Read a store written by {!save}. Returns [Error] on a missing file,
-    a bad magic string, or a truncated/corrupt encoding. *)
+val save : Store.t -> path:string -> int
+(** Atomically replace the store at [path] with the union of [store] and
+    whatever is currently on disk (records in [store] win on key
+    collisions), under the advisory writer lock. Returns the number of
+    records written. Raises [Sys_error] / [Unix.Unix_error] on I/O
+    failure — never leaves a half-written store behind. *)
+
+val load : path:string -> (Store.t * int, string) result
+(** Read a store written by {!save} (or a legacy [FFSTORE1] file).
+    [Ok (store, skipped)] holds every record that survived CRC and
+    structural validation plus the number of corrupt records/regions
+    skipped; [skipped = 0] means the file was pristine. [Error] only for
+    a missing/unreadable file or one that is not a FastFlip store at all.
+    Never raises on corrupt input (including files truncated concurrently
+    with the read). *)
+
+val save_legacy_v1 : Store.t -> path:string -> unit
+(** Write the pre-hardening [FFSTORE1] encoding (no framing, no CRC, not
+    atomic). Exists so compatibility fixtures exercise the real legacy
+    format; production code paths always use {!save}. *)
 
 val roundtrip_equal : Store.section_record -> Store.section_record -> bool
 (** Structural equality of two records (exposed for tests; floats compare

@@ -94,8 +94,10 @@ let section_key config (section : Golden.section_run) =
          Hashing.value h);
   }
 
-let analyze_section ?pool config golden ~section_index ~key =
-  let campaign = Campaign.run_section ?pool golden ~section_index config.campaign in
+let analyze_section ?pool ?journal config golden ~section_index ~key =
+  let campaign =
+    Campaign.run_section ?pool ?journal golden ~section_index config.campaign
+  in
   let rng =
     Rng.create
       (Hashing.combine config.seed
@@ -124,7 +126,7 @@ type section_plan =
   | Fresh_first                     (* first section needing this key *)
   | Fresh_dup                       (* later section sharing a missed key *)
 
-let analyze ?store ?(pool = Pool.serial) config program =
+let analyze ?store ?(pool = Pool.serial) ?checkpoint config program =
   Telemetry.span "pipeline.analyze" @@ fun () ->
   let golden = Golden.run program in
   let dataflow = Dataflow.of_golden golden in
@@ -164,9 +166,11 @@ let analyze ?store ?(pool = Pool.serial) config program =
     Telemetry.progress ~label:"analyze: sections" ~total:(Array.length miss_indices)
   in
   let analyze_one section_index =
-    let record =
-      analyze_section ~pool config golden ~section_index ~key:keys.(section_index)
-    in
+    let key = keys.(section_index) in
+    (* Checkpointed campaigns: completed classes of this key restore from
+       the journal; fresh batches append to it (safe from pool domains). *)
+    let journal = Option.map (fun c -> Checkpoint.journal c ~key) checkpoint in
+    let record = analyze_section ~pool ?journal config golden ~section_index ~key in
     Telemetry.step meter;
     record
   in

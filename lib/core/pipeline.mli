@@ -36,7 +36,12 @@ type analysis = {
 }
 
 val analyze :
-  ?store:Store.t -> ?pool:Ff_support.Pool.t -> config -> Ff_ir.Program.t -> analysis
+  ?store:Store.t ->
+  ?pool:Ff_support.Pool.t ->
+  ?checkpoint:Checkpoint.t ->
+  config ->
+  Ff_ir.Program.t ->
+  analysis
 (** Analyze one program version. With a [store], section results are
     looked up by (code, input, config) hash and new results are added,
     so analyzing a modified version after its parent re-injects only the
@@ -47,7 +52,14 @@ val analyze :
     The store stays single-writer: every lookup and insertion happens on
     the coordinating domain in schedule order, so the analysis — records,
     valuation, solution, work and reuse counters, store telemetry — is
-    bit-identical to the serial run for any pool width. *)
+    bit-identical to the serial run for any pool width.
+
+    With a [checkpoint], every cache-miss campaign journals its completed
+    equivalence classes ({!Checkpoint}): an analysis killed mid-campaign
+    and re-run against the resumed journal replays only the unfinished
+    classes and produces the same analysis bit-for-bit — sections,
+    valuation, solution, and work counters — as an uninterrupted run, for
+    any pool width. *)
 
 val ground_truth_for_section :
   ?pool:Ff_support.Pool.t ->

@@ -1,0 +1,83 @@
+(** The binary codec shared by the persistent store ({!Persist}) and the
+    campaign checkpoint journal ({!Checkpoint}).
+
+    Two layers:
+
+    {ul
+    {- {b value codecs}: little-endian writers into a [Buffer.t] and
+       cursor-based readers for every analysis type that goes to disk —
+       sites, equivalence classes, outcomes, campaign results,
+       sensitivity matrices, full store records. Readers validate tags
+       and lengths and raise {!Corrupt} rather than producing garbage.}
+    {- {b CRC frames}: a self-describing record framing
+       ([marker ∥ length ∥ crc32(payload) ∥ crc32(header) ∥ payload]) such
+       that {!read_frames} can salvage every intact frame from a file with
+       arbitrary truncation or flipped bytes. The header carries its own
+       CRC, so a corrupted length cannot derail the reader: it rescans
+       for the next marker and loses only the damaged frame.}} *)
+
+(** {1 Writers} *)
+
+val w_int64 : Buffer.t -> int64 -> unit
+val w_int : Buffer.t -> int -> unit
+val w_float : Buffer.t -> float -> unit
+val w_array : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a array -> unit
+val w_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+
+(** {1 Readers} *)
+
+exception Corrupt of string
+(** Raised by readers on a tag, length, or bounds violation. Framed
+    readers catch it per frame; it never escapes {!Persist.load} or
+    {!Checkpoint.start}. *)
+
+type cursor = {
+  data : string;
+  mutable pos : int;
+}
+
+val cursor : ?pos:int -> string -> cursor
+val at_end : cursor -> bool
+val r_int64 : cursor -> int64
+val r_int : cursor -> int
+val r_float : cursor -> float
+val r_length : cursor -> string -> int
+(** A non-negative, plausibility-bounded element count. *)
+
+val r_array : cursor -> (cursor -> 'a) -> string -> 'a array
+val r_list : cursor -> (cursor -> 'a) -> string -> 'a list
+
+(** {1 Analysis-type codecs} *)
+
+val w_site : Buffer.t -> Ff_inject.Site.t -> unit
+val r_site : cursor -> Ff_inject.Site.t
+val w_class : Buffer.t -> Ff_inject.Eqclass.t -> unit
+val r_class : cursor -> Ff_inject.Eqclass.t
+val w_section_outcome : Buffer.t -> Ff_inject.Outcome.section_outcome -> unit
+val r_section_outcome : cursor -> Ff_inject.Outcome.section_outcome
+val w_campaign : Buffer.t -> Ff_inject.Campaign.section_result -> unit
+val r_campaign : cursor -> Ff_inject.Campaign.section_result
+val w_sensitivity : Buffer.t -> Ff_sensitivity.Sensitivity.t -> unit
+val r_sensitivity : cursor -> Ff_sensitivity.Sensitivity.t
+val w_key : Buffer.t -> Store.key -> unit
+val r_key : cursor -> Store.key
+val w_record : Buffer.t -> Store.section_record -> unit
+val r_record : cursor -> Store.section_record
+
+(** {1 CRC frames} *)
+
+val frame : string -> string
+(** [frame payload] is the framed encoding of [payload]: a 28-byte header
+    (marker, payload length, payload CRC-32, header CRC-32) followed by
+    the payload bytes. *)
+
+val add_frame : Buffer.t -> string -> unit
+
+val read_frames : ?pos:int -> string -> string list * int
+(** [read_frames data ~pos] scans [data] from [pos] and returns every
+    payload whose header and payload CRCs validate, in file order, plus
+    the number of corrupt regions skipped (a region is a damaged frame or
+    a stretch of garbage up to the next intact frame; a cleanly truncated
+    tail that removes whole frames leaves no trace here — callers that
+    record an expected count, like {!Persist}, detect that themselves).
+    Never raises on any input. *)

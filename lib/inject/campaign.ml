@@ -24,6 +24,10 @@ let m_b_sites = Telemetry.counter "campaign.baseline.sites"
 let m_b_work = Telemetry.counter "campaign.baseline.work"
 let m_f_injections = Telemetry.counter "campaign.final.injections"
 let m_f_work = Telemetry.counter "campaign.final.work"
+let m_retries = Telemetry.counter "campaign.retries"
+let m_quarantined = Telemetry.counter "campaign.quarantined"
+let m_journal_batches = Telemetry.counter "campaign.journal.batches"
+let m_journal_restored = Telemetry.counter "campaign.journal.restored"
 
 let tally_detected = function
   | Outcome.Crash -> Telemetry.incr m_crash
@@ -69,8 +73,79 @@ type section_result = {
    counts afterwards (never through a shared ref). *)
 let sum_work tagged = Array.fold_left (fun acc (_, w) -> acc + w) 0 tagged
 
-let run_section ?(pool = Pool.serial) ?(engine = Replay.default_engine) ?classes golden
-    ~section_index config =
+type journal = {
+  j_every : int;
+  j_done : (int, Outcome.section_outcome * int) Hashtbl.t;
+  j_append : (int * Outcome.section_outcome * int) list -> unit;
+}
+
+let on_retry _ = Telemetry.incr m_retries
+
+(* A replay whose execution itself faults (a pathological kernel blowing
+   the interpreter stack, say) is quarantined by the pool rather than
+   aborting the campaign; a crashed replay is by definition a detected
+   outcome, and it executed nothing we can meter, so it costs 0 work. *)
+let quarantined_section (_ : exn) =
+  Telemetry.incr m_quarantined;
+  (Outcome.S_detected Outcome.Crash, 0)
+
+let quarantined_final (_ : exn) =
+  Telemetry.incr m_quarantined;
+  (Outcome.F_detected Outcome.Crash, 0)
+
+let run_plain ~pool ~quarantined run_one classes =
+  Array.map
+    (function Ok r -> r | Error e -> quarantined e)
+    (Pool.map_array_result ~on_retry pool run_one classes)
+
+(* Journaled execution: run [classes] in batches of [j_every] — outcomes
+   already in the journal are restored without replaying, and each
+   completed batch is appended (and made durable) before the next starts,
+   so a killed campaign resumes from its last checkpoint with
+   bit-identical results (every class outcome is deterministic, and
+   per-class work counts ride along in the journal). *)
+let run_journaled ~pool ~journal:j ~quarantined run_one classes =
+  let checked results =
+    Array.map (function Ok r -> r | Error e -> quarantined e) results
+  in
+  begin
+    if j.j_every < 1 then invalid_arg "Campaign.run_journaled: journal step must be >= 1";
+    let n = Array.length classes in
+    let out = Array.make n None in
+    let todo = ref [] in
+    for i = n - 1 downto 0 do
+      match Hashtbl.find_opt j.j_done i with
+      | Some r ->
+        out.(i) <- Some r;
+        Telemetry.incr m_journal_restored
+      | None -> todo := i :: !todo
+    done;
+    let todo = Array.of_list !todo in
+    let m = Array.length todo in
+    let start = ref 0 in
+    while !start < m do
+      let b = min j.j_every (m - !start) in
+      let batch = Array.sub todo !start b in
+      let results =
+        checked
+          (Pool.map_array_result ~on_retry pool (fun i -> run_one classes.(i)) batch)
+      in
+      Array.iteri (fun k i -> out.(i) <- Some results.(k)) batch;
+      j.j_append
+        (Array.to_list
+           (Array.mapi
+              (fun k i ->
+                let outcome, work = results.(k) in
+                (i, outcome, work))
+              batch));
+      Telemetry.incr m_journal_batches;
+      start := !start + b
+    done;
+    Array.map (function Some r -> r | None -> assert false) out
+  end
+
+let run_section ?(pool = Pool.serial) ?(engine = Replay.default_engine) ?classes ?journal
+    golden ~section_index config =
   Telemetry.span "campaign.run_section"
     ~attrs:[ ("section", string_of_int section_index) ]
   @@ fun () ->
@@ -81,17 +156,21 @@ let run_section ?(pool = Pool.serial) ?(engine = Replay.default_engine) ?classes
     | None -> Eqclass.for_section section config.bits
   in
   let classes = Array.of_list class_list in
-  let tagged =
-    Pool.map_array pool
-      (fun cls ->
-        let injection = Site.machine_injection cls.Eqclass.pilot in
-        let replay =
-          Replay.run_section ~burst:config.burst ~engine golden section injection
-            ~timeout_factor:config.timeout_factor
-        in
-        ((cls, Outcome.of_section_replay replay), replay.Replay.s_executed))
-      classes
+  let run_one cls =
+    let injection = Site.machine_injection cls.Eqclass.pilot in
+    let replay =
+      Replay.run_section ~burst:config.burst ~engine golden section injection
+        ~timeout_factor:config.timeout_factor
+    in
+    (Outcome.of_section_replay replay, replay.Replay.s_executed)
   in
+  let outcomes =
+    match journal with
+    | None -> run_plain ~pool ~quarantined:quarantined_section run_one classes
+    | Some journal ->
+      run_journaled ~pool ~journal ~quarantined:quarantined_section run_one classes
+  in
+  let tagged = Array.mapi (fun i (outcome, work) -> ((classes.(i), outcome), work)) outcomes in
   let result =
     {
       section_index;
@@ -120,8 +199,8 @@ let run_baseline ?(pool = Pool.serial) ?(engine = Replay.default_engine) golden 
   Telemetry.span "campaign.run_baseline" @@ fun () ->
   let class_list = Eqclass.for_program golden config.bits in
   let classes = Array.of_list class_list in
-  let tagged =
-    Pool.map_array pool
+  let outcomes =
+    run_plain ~pool ~quarantined:quarantined_final
       (fun cls ->
         let injection = Site.machine_injection cls.Eqclass.pilot in
         let replay =
@@ -129,9 +208,10 @@ let run_baseline ?(pool = Pool.serial) ?(engine = Replay.default_engine) golden 
             ~from_section:cls.Eqclass.pilot.Site.section injection
             ~timeout_factor:config.timeout_factor
         in
-        ((cls, Outcome.of_program_replay replay), replay.Replay.p_executed))
+        (Outcome.of_program_replay replay, replay.Replay.p_executed))
       classes
   in
+  let tagged = Array.mapi (fun i (outcome, work) -> ((classes.(i), outcome), work)) outcomes in
   let result =
     {
       b_classes = Array.map fst tagged;
@@ -161,8 +241,8 @@ let final_outcomes_for_section ?(pool = Pool.serial) ?(engine = Replay.default_e
       let section = golden.Golden.sections.(section_index) in
       Array.of_list (Eqclass.for_section section config.bits)
   in
-  let tagged =
-    Pool.map_array pool
+  let outcomes =
+    run_plain ~pool ~quarantined:quarantined_final
       (fun cls ->
         let injection = Site.machine_injection cls.Eqclass.pilot in
         let replay =
@@ -170,9 +250,10 @@ let final_outcomes_for_section ?(pool = Pool.serial) ?(engine = Replay.default_e
             ~from_section:section_index injection
             ~timeout_factor:config.timeout_factor
         in
-        ((cls, Outcome.of_program_replay replay), replay.Replay.p_executed))
+        (Outcome.of_program_replay replay, replay.Replay.p_executed))
       classes
   in
+  let tagged = Array.mapi (fun i (outcome, work) -> ((classes.(i), outcome), work)) outcomes in
   let work = sum_work tagged in
   Telemetry.add m_f_injections (Array.length classes);
   Telemetry.add m_f_work work;

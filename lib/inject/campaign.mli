@@ -35,10 +35,29 @@ type section_result = {
   s_sites : int;       (** |J_s| covered (class members) *)
 }
 
+type journal = {
+  j_every : int;
+  (** checkpoint cadence: completed class outcomes are appended after
+      every batch of [j_every] classes (must be >= 1) *)
+  j_done : (int, Outcome.section_outcome * int) Hashtbl.t;
+  (** outcomes recovered from a previous run, keyed by class index in
+      enumeration order: these classes are restored without replaying *)
+  j_append : (int * Outcome.section_outcome * int) list -> unit;
+  (** called once per completed batch with [(class_index, outcome, work)]
+      triples; expected to make them durable before returning (the
+      {!Fastflip.Checkpoint} implementation appends a CRC-framed batch
+      and fsyncs). May be called from a pool worker domain. *)
+}
+(** Checkpointing hooks for {!run_section}. The class enumeration for a
+    fixed (kernel code, golden input, config) key is deterministic, so
+    class {e indices} are a stable identity — the journal never needs to
+    re-serialize the classes themselves. *)
+
 val run_section :
   ?pool:Ff_support.Pool.t ->
   ?engine:Ff_vm.Replay.engine ->
   ?classes:Eqclass.t list ->
+  ?journal:journal ->
   Ff_vm.Golden.t -> section_index:int -> config -> section_result
 (** FastFlip's per-section campaign: each pilot runs the section in
     isolation from its golden entry state. [engine] (default
@@ -47,7 +66,20 @@ val run_section :
     absent from {!config_hash} — stored results remain valid across
     engines. [classes] supplies a pre-enumerated class list (it must be
     {!Eqclass.for_section} of this section under [config]); when absent
-    the classes are enumerated here. *)
+    the classes are enumerated here.
+
+    With a [journal], outcomes present in [j_done] are restored without
+    replaying and the rest run in batches of [j_every] classes, each
+    batch checkpointed through [j_append] — a campaign killed at any
+    point resumes to a bit-identical [section_result] (outcomes {e and}
+    work counters). Without one, all classes fan out over the pool in a
+    single map.
+
+    Replays are {e quarantined} ({!Ff_support.Pool.map_array_result}): a
+    replay that raises is retried once and then recorded as a
+    [S_detected Crash] outcome with 0 work for its class alone, counted
+    under [campaign.retries] / [campaign.quarantined], instead of
+    aborting the campaign. *)
 
 type baseline_result = {
   b_classes : (Eqclass.t * Outcome.final_outcome) array;

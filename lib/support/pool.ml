@@ -5,6 +5,8 @@ let m_maps = Telemetry.counter "pool.maps"
 let m_serial_maps = Telemetry.counter "pool.serial_maps"
 let m_tasks = Telemetry.counter "pool.tasks"
 let m_chunks = Telemetry.counter "pool.chunks"
+let m_retries = Telemetry.counter "pool.retries"
+let m_quarantined = Telemetry.counter "pool.quarantined"
 let m_tasks_caller = Telemetry.counter ~volatile:true "pool.tasks.caller"
 let m_tasks_workers = Telemetry.counter ~volatile:true "pool.tasks.workers"
 let m_wait_ns = Telemetry.counter ~volatile:true "pool.coordinator_wait_ns"
@@ -57,7 +59,23 @@ let create ~domains =
       busy = Atomic.make false;
     }
   in
-  t.workers <- Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  (* Spawn one at a time so that a mid-spawn failure (e.g. the OS refusing
+     another thread) leaves no orphaned domains: wake and join whatever
+     already started, then re-raise. *)
+  let spawned = Array.make (domains - 1) None in
+  (try
+     for i = 0 to domains - 2 do
+       spawned.(i) <- Some (Domain.spawn (fun () -> worker_loop t 0))
+     done
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     Mutex.lock t.lock;
+     t.stop <- true;
+     Condition.broadcast t.work_ready;
+     Mutex.unlock t.lock;
+     Array.iter (Option.iter Domain.join) spawned;
+     Printexc.raise_with_backtrace e bt);
+  t.workers <- Array.map Option.get spawned;
   t
 
 let serial = create ~domains:1
@@ -167,3 +185,29 @@ let map_array ?chunk t f arr =
     match Atomic.get error with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> Array.map (function Some v -> v | None -> assert false) results
+
+(* Quarantine mode: wrap each task so an exception can never escape into
+   the shared map machinery — a raising task is retried, then recorded as
+   a per-slot [Error]. Because the wrapper returns normally in all cases,
+   the pool's abort-on-error path is never taken and every other slot
+   still completes. *)
+let map_array_result ?chunk ?(retries = 1) ?on_retry t f arr =
+  if retries < 0 then invalid_arg "Pool.map_array_result: retries must be >= 0";
+  let quarantined x =
+    let rec attempt remaining =
+      match f x with
+      | v -> Ok v
+      | exception e ->
+        if remaining > 0 then begin
+          Telemetry.incr m_retries;
+          (match on_retry with Some cb -> cb e | None -> ());
+          attempt (remaining - 1)
+        end
+        else begin
+          Telemetry.incr m_quarantined;
+          Error e
+        end
+    in
+    attempt retries
+  in
+  map_array ?chunk t quarantined arr

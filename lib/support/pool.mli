@@ -29,7 +29,10 @@ val create : domains:int -> t
     also runs chunks on the calling domain, so [domains] is the true
     parallel width). [domains <= 1] spawns nothing: every [map_array]
     is then exactly [Array.map]. Raises [Invalid_argument] for
-    [domains < 1] or [domains > 128]. *)
+    [domains < 1] or [domains > 128]. If spawning fails partway (the OS
+    refusing another thread), the already-spawned domains are stopped and
+    joined before the exception is re-raised — a failed [create] never
+    leaks workers. *)
 
 val serial : t
 (** A shared width-1 pool (no worker domains, no shutdown needed) —
@@ -45,6 +48,24 @@ val map_array : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
     value yields the same result. Raises [Invalid_argument] on
     [chunk <= 0]. [f] must not depend on evaluation order; it runs
     concurrently on up to [domains] domains. *)
+
+val map_array_result :
+  ?chunk:int ->
+  ?retries:int ->
+  ?on_retry:(exn -> unit) ->
+  t ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, exn) result array
+(** {!map_array} in {e fault-quarantining} mode: a task that raises (a
+    [Stack_overflow] from a pathological kernel, an [Out_of_memory]) is
+    retried up to [retries] times (default 1) and, if it still raises,
+    recorded as [Error exn] in its own slot instead of aborting the whole
+    map — every other slot completes normally. [on_retry] (called with
+    the exception, possibly from a worker domain) lets callers keep their
+    own retry telemetry; the pool itself counts [pool.retries] and
+    [pool.quarantined]. Plain {!map_array} keeps its abort-and-re-raise
+    semantics. Raises [Invalid_argument] on [retries < 0]. *)
 
 val shutdown : t -> unit
 (** Terminate and join the worker domains. Idempotent. Using

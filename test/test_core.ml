@@ -283,6 +283,272 @@ let test_store_counters () =
   let _ = Pipeline.analyze ~store quick_config (compile program_src) in
   Alcotest.(check int) "two hits" 2 (Store.hits store)
 
+(* --- crash safety: hardened persistence ----------------------------------- *)
+
+(* One analyzed store and its pristine FFSTORE2 bytes, shared by the
+   corruption tests below (the analysis is the expensive part). *)
+let pristine = lazy (
+  let store = Store.create () in
+  let _ = Pipeline.analyze ~store quick_config (compile program_src) in
+  let path = Filename.temp_file "ffstore" ".bin" in
+  let _ = Persist.save store ~path in
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  (store, data))
+
+let load_bytes data =
+  let path = Filename.temp_file "fffuzz" ".bin" in
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc;
+  let result = Persist.load ~path in
+  Sys.remove path;
+  result
+
+(* Every record a salvaging load returns must be one of the original
+   records, byte-for-byte — salvage may drop, never invent or distort. *)
+let survivors_intact original loaded =
+  List.for_all
+    (fun r ->
+      match Store.find original r.Store.rec_key with
+      | Some o -> Persist.roundtrip_equal o r
+      | None -> false)
+    (Store.records loaded)
+
+let prop_corrupt_store_salvage =
+  QCheck2.Test.make ~count:250
+    ~name:"corrupt store: load never raises and survivors are intact"
+    QCheck2.Gen.(triple (int_range 0 3) (float_bound_exclusive 1.0) (int_range 0 255))
+    (fun (kind, frac, byte) ->
+      let store, data0 = Lazy.force pristine in
+      let n = String.length data0 in
+      let off = min (n - 1) (int_of_float (frac *. float_of_int n)) in
+      let data =
+        match kind with
+        | 0 ->
+          (* flip bits of one byte *)
+          let b = Bytes.of_string data0 in
+          Bytes.set b off
+            (Char.chr (Char.code (Bytes.get b off) lxor (1 + (byte mod 255))));
+          Bytes.to_string b
+        | 1 -> String.sub data0 0 off (* truncate *)
+        | 2 ->
+          (* zero out a 24-byte run *)
+          let b = Bytes.of_string data0 in
+          for i = off to min (n - 1) (off + 23) do
+            Bytes.set b i '\000'
+          done;
+          Bytes.to_string b
+        | _ ->
+          (* splice garbage into the middle *)
+          String.sub data0 0 off
+          ^ String.make 5 (Char.chr byte)
+          ^ String.sub data0 off (n - off)
+      in
+      match load_bytes data with
+      | Error _ -> true (* header destroyed: refusing the file outright is fine *)
+      | Ok (loaded, skipped) ->
+        Store.size loaded <= Store.size store
+        (* losing a record silently is the one unforgivable outcome *)
+        && (Store.size loaded = Store.size store || skipped > 0)
+        && survivors_intact store loaded)
+
+let test_persist_v1_compat () =
+  let store, _ = Lazy.force pristine in
+  let path = Filename.temp_file "ffv1" ".bin" in
+  Persist.save_legacy_v1 store ~path;
+  (match Persist.load ~path with
+  | Error e -> Alcotest.failf "v1 load failed: %s" e
+  | Ok (loaded, skipped) ->
+    Alcotest.(check int) "nothing skipped" 0 skipped;
+    Alcotest.(check int) "all records load" (Store.size store) (Store.size loaded);
+    Alcotest.(check bool) "records intact" true (survivors_intact store loaded));
+  (* v1 has no framing, so a truncated file salvages the record prefix. *)
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic - 10) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc;
+  (match Persist.load ~path with
+  | Error e -> Alcotest.failf "truncated v1 should salvage: %s" e
+  | Ok (loaded, skipped) ->
+    Alcotest.(check bool) "truncation reported" true (skipped > 0);
+    Alcotest.(check bool) "prefix intact" true (survivors_intact store loaded));
+  Sys.remove path
+
+let test_persist_concurrent_writers_merge () =
+  (* Two processes sharing a store path must union their records, not
+     last-writer-wins. Different sensitivity settings give the two
+     "processes" disjoint store keys for the same program. *)
+  let path = Filename.temp_file "ffmerge" ".bin" in
+  Sys.remove path;
+  let store1 = Store.create () in
+  let _ = Pipeline.analyze ~store:store1 quick_config (compile program_src) in
+  let store2 = Store.create () in
+  let config2 = { quick_config with Pipeline.sensitivity_samples = 61 } in
+  let _ = Pipeline.analyze ~store:store2 config2 (compile program_src) in
+  let w1 = Persist.save store1 ~path in
+  Alcotest.(check int) "first writer" (Store.size store1) w1;
+  let w2 = Persist.save store2 ~path in
+  Alcotest.(check int) "second writer merges"
+    (Store.size store1 + Store.size store2) w2;
+  (match Persist.load ~path with
+  | Error e -> Alcotest.failf "merged load failed: %s" e
+  | Ok (loaded, skipped) ->
+    Alcotest.(check int) "merged store pristine" 0 skipped;
+    List.iter
+      (fun r ->
+        match Store.find loaded r.Store.rec_key with
+        | Some found ->
+          Alcotest.(check bool) "merged record intact" true
+            (Persist.roundtrip_equal r found)
+        | None -> Alcotest.fail "record lost in merge")
+      (Store.records store1 @ Store.records store2));
+  (* Re-saving one writer is idempotent: its records collide and win. *)
+  let w3 = Persist.save store1 ~path in
+  Alcotest.(check int) "collisions keep ours"
+    (Store.size store1 + Store.size store2) w3;
+  Sys.remove path;
+  (try Sys.remove (path ^ ".lock") with Sys_error _ -> ())
+
+(* --- crash safety: checkpointed campaigns ---------------------------------- *)
+
+let selection_equal a b =
+  let sa = Pipeline.select a ~target:0.9 and sb = Pipeline.select b ~target:0.9 in
+  sa.Knapsack.pcs = sb.Knapsack.pcs
+  && sa.Knapsack.value = sb.Knapsack.value
+  && sa.Knapsack.cost = sb.Knapsack.cost
+
+let check_bit_identical ~msg (a : Pipeline.analysis) (b : Pipeline.analysis) =
+  Alcotest.(check int) (msg ^ ": section count")
+    (Array.length a.Pipeline.sections) (Array.length b.Pipeline.sections);
+  Array.iteri
+    (fun i ra ->
+      Alcotest.(check bool) (Printf.sprintf "%s: section %d record" msg i) true
+        (Persist.roundtrip_equal ra b.Pipeline.sections.(i)))
+    a.Pipeline.sections;
+  Alcotest.(check int) (msg ^ ": work") a.Pipeline.work b.Pipeline.work;
+  Alcotest.(check int) (msg ^ ": total work") a.Pipeline.total_section_work
+    b.Pipeline.total_section_work;
+  Alcotest.(check bool) (msg ^ ": valuation") true
+    (a.Pipeline.valuation.Valuation.values = b.Pipeline.valuation.Valuation.values);
+  Alcotest.(check bool) (msg ^ ": knapsack selection") true (selection_equal a b)
+
+let test_checkpoint_kill_and_resume () =
+  let program = compile program_src in
+  let golden = Golden.run program in
+  (* Total checkpoint appends an uninterrupted ~every:2 run performs, so
+     the kill points below cover the first, a middle, and the final
+     append. *)
+  let appends_per_section i =
+    let classes =
+      List.length
+        (Ff_inject.Eqclass.for_section golden.Golden.sections.(i)
+           quick_config.Pipeline.campaign.Campaign.bits)
+    in
+    (classes + 1) / 2
+  in
+  let total_appends =
+    Array.fold_left ( + ) 0
+      (Array.init (Array.length golden.Golden.sections) appends_per_section)
+  in
+  Alcotest.(check bool) "program large enough to checkpoint" true (total_appends >= 3);
+  let kill_points = List.sort_uniq compare [ 1; total_appends / 2; total_appends ] in
+  List.iter
+    (fun domains ->
+      Ff_support.Pool.with_pool ~domains (fun pool ->
+          let reference = Pipeline.analyze ~pool quick_config program in
+          List.iter
+            (fun crash_after ->
+              let msg = Printf.sprintf "domains=%d kill=%d" domains crash_after in
+              let jpath = Filename.temp_file "ffjournal" ".bin" in
+              (* The killed run: the journal hook raises after the
+                 [crash_after]-th durable append — exactly the on-disk
+                 state a real SIGKILL at that point leaves behind. *)
+              (match
+                 Checkpoint.start ~crash_after ~path:jpath ~every:2 ~resume:false ()
+               with
+              | Error e -> Alcotest.failf "%s: start failed: %s" msg e
+              | Ok ckpt ->
+                (match Pipeline.analyze ~pool ~checkpoint:ckpt quick_config program with
+                | _ -> Alcotest.failf "%s: expected the simulated crash" msg
+                | exception Checkpoint.Simulated_crash -> ());
+                Checkpoint.close ckpt);
+              (* The resumed run must match the uninterrupted one bit for
+                 bit — outcomes AND work counters. *)
+              match Checkpoint.start ~path:jpath ~every:2 ~resume:true () with
+              | Error e -> Alcotest.failf "%s: resume failed: %s" msg e
+              | Ok ckpt ->
+                Alcotest.(check bool) (msg ^ ": crashed progress survives") true
+                  (Checkpoint.loaded ckpt > 0);
+                Alcotest.(check int) (msg ^ ": journal pristine") 0
+                  (Checkpoint.skipped ckpt);
+                let resumed = Pipeline.analyze ~pool ~checkpoint:ckpt quick_config program in
+                Checkpoint.remove ckpt;
+                Alcotest.(check bool) (msg ^ ": journal removed") false
+                  (Sys.file_exists jpath);
+                check_bit_identical ~msg reference resumed)
+            kill_points))
+    [ 1; 4 ]
+
+let test_checkpoint_survives_torn_tail () =
+  (* A real crash can tear the journal mid-write; resume must salvage the
+     intact prefix and re-run the rest, not refuse or mis-restore. *)
+  let program = compile program_src in
+  let jpath = Filename.temp_file "ffjournal" ".bin" in
+  let reference = Pipeline.analyze quick_config program in
+  (match Checkpoint.start ~crash_after:2 ~path:jpath ~every:2 ~resume:false () with
+  | Error e -> Alcotest.failf "start failed: %s" e
+  | Ok ckpt ->
+    (match Pipeline.analyze ~checkpoint:ckpt quick_config program with
+    | _ -> Alcotest.fail "expected the simulated crash"
+    | exception Checkpoint.Simulated_crash -> ());
+    Checkpoint.close ckpt);
+  (* Tear the last 7 bytes off, as a power loss mid-append would. *)
+  let ic = open_in_bin jpath in
+  let data = really_input_string ic (in_channel_length ic - 7) in
+  close_in ic;
+  let oc = open_out_bin jpath in
+  output_string oc data;
+  close_out oc;
+  match Checkpoint.start ~path:jpath ~every:2 ~resume:true () with
+  | Error e -> Alcotest.failf "torn resume failed: %s" e
+  | Ok ckpt ->
+    Alcotest.(check bool) "torn region reported" true (Checkpoint.skipped ckpt > 0);
+    let resumed = Pipeline.analyze ~checkpoint:ckpt quick_config program in
+    Checkpoint.remove ckpt;
+    check_bit_identical ~msg:"torn tail" reference resumed
+
+let test_crash_safety_counters_in_metrics () =
+  (* The hardened layers' counters are interned in the process registry,
+     so the deterministic --metrics JSON export carries them even at
+     zero. *)
+  let module Telemetry = Ff_support.Telemetry in
+  Telemetry.set_enabled true;
+  Fun.protect ~finally:(fun () -> Telemetry.set_enabled false) @@ fun () ->
+  let json = Telemetry.to_json ~timings:false (Telemetry.snapshot ()) in
+  let contains needle =
+    let quoted = "\"" ^ needle ^ "\"" in
+    let nl = String.length quoted and hl = String.length json in
+    let rec go i =
+      i + nl <= hl && (String.equal (String.sub json i nl) quoted || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun name -> Alcotest.(check bool) name true (contains name))
+    [
+      "pool.retries"; "pool.quarantined"; "campaign.retries";
+      "campaign.quarantined"; "campaign.journal.batches";
+      "campaign.journal.restored"; "checkpoint.appends";
+      "checkpoint.classes_appended"; "checkpoint.classes_loaded";
+      "persist.records_loaded"; "persist.records_skipped";
+      "persist.saves.merged_records";
+    ]
+
 (* --- adjust / compare --------------------------------------------------------- *)
 
 let test_adjust_identity () =
@@ -362,6 +628,19 @@ let () =
             test_store_invalidates_downstream_on_semantic_change;
           Alcotest.test_case "config isolation" `Quick test_store_config_isolation;
           Alcotest.test_case "counters" `Quick test_store_counters;
+        ] );
+      ( "crash safety",
+        [
+          QCheck_alcotest.to_alcotest prop_corrupt_store_salvage;
+          Alcotest.test_case "FFSTORE1 compat" `Quick test_persist_v1_compat;
+          Alcotest.test_case "concurrent writers merge" `Quick
+            test_persist_concurrent_writers_merge;
+          Alcotest.test_case "kill and resume is bit-identical" `Quick
+            test_checkpoint_kill_and_resume;
+          Alcotest.test_case "torn journal tail" `Quick
+            test_checkpoint_survives_torn_tail;
+          Alcotest.test_case "counters exported" `Quick
+            test_crash_safety_counters_in_metrics;
         ] );
       ( "adjust/compare",
         [

@@ -240,10 +240,11 @@ let test_persist_roundtrip () =
   let store = Store.create () in
   let _ = Pipeline.analyze ~store quick_config (compile chain_src) in
   let path = Filename.temp_file "ffstore" ".bin" in
-  Persist.save store ~path;
+  let _ = Persist.save store ~path in
   (match Persist.load ~path with
   | Error e -> Alcotest.failf "load failed: %s" e
-  | Ok loaded ->
+  | Ok (loaded, skipped) ->
+    Alcotest.(check int) "nothing skipped" 0 skipped;
     Alcotest.(check int) "same record count" (Store.size store) (Store.size loaded);
     let by_key records =
       List.sort compare (List.map (fun r -> r.Store.rec_key) records)
@@ -264,11 +265,11 @@ let test_persist_enables_cross_process_reuse () =
   let store = Store.create () in
   let _ = Pipeline.analyze ~store quick_config (compile chain_src) in
   let path = Filename.temp_file "ffstore" ".bin" in
-  Persist.save store ~path;
+  let _ = Persist.save store ~path in
   (* A "new process": fresh store loaded from disk re-analyzes nothing. *)
   (match Persist.load ~path with
   | Error e -> Alcotest.failf "load failed: %s" e
-  | Ok loaded ->
+  | Ok (loaded, _) ->
     let a = Pipeline.analyze ~store:loaded quick_config (compile chain_src) in
     Alcotest.(check int) "everything reused from disk" 0 a.Pipeline.sections_analyzed;
     Alcotest.(check int) "zero new work" 0 a.Pipeline.work);
@@ -287,11 +288,14 @@ let test_persist_rejects_garbage () =
   | Ok _ -> Alcotest.fail "missing file accepted"
   | Error _ -> ()
 
-let test_persist_detects_truncation () =
+let test_persist_salvages_truncation () =
+  (* FFSTORE2 salvage: chopping the tail loses at most the records whose
+     frames were damaged — [load] succeeds, reports the damage, and every
+     surviving record is intact. *)
   let store = Store.create () in
   let _ = Pipeline.analyze ~store quick_config (compile chain_src) in
   let path = Filename.temp_file "ffstore" ".bin" in
-  Persist.save store ~path;
+  let _ = Persist.save store ~path in
   let ic = open_in_bin path in
   let n = in_channel_length ic in
   let data = really_input_string ic (n - 16) in
@@ -300,8 +304,19 @@ let test_persist_detects_truncation () =
   output_string oc data;
   close_out oc;
   (match Persist.load ~path with
-  | Ok _ -> Alcotest.fail "truncated store accepted"
-  | Error _ -> ());
+  | Error e -> Alcotest.failf "truncated store should salvage, got: %s" e
+  | Ok (loaded, skipped) ->
+    Alcotest.(check bool) "truncation reported" true (skipped > 0);
+    Alcotest.(check bool) "at most one record lost" true
+      (Store.size loaded >= Store.size store - 1);
+    List.iter
+      (fun r ->
+        match Store.find store r.Store.rec_key with
+        | None -> Alcotest.fail "salvage invented a record"
+        | Some original ->
+          Alcotest.(check bool) "survivor intact" true
+            (Persist.roundtrip_equal original r))
+      (Store.records loaded));
   Sys.remove path
 
 (* --- evolution --------------------------------------------------------------------- *)
@@ -357,7 +372,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_persist_roundtrip;
           Alcotest.test_case "cross-process reuse" `Quick test_persist_enables_cross_process_reuse;
           Alcotest.test_case "rejects garbage" `Quick test_persist_rejects_garbage;
-          Alcotest.test_case "detects truncation" `Quick test_persist_detects_truncation;
+          Alcotest.test_case "salvages truncation" `Quick test_persist_salvages_truncation;
         ] );
       ( "evolution",
         [ Alcotest.test_case "smoke" `Quick test_evolution_smoke ] );

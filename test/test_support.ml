@@ -189,6 +189,30 @@ let test_hash_combine_order () =
   Alcotest.(check bool) "combine is order-dependent" false
     (Int64.equal (Hashing.combine 1L 2L) (Hashing.combine 2L 1L))
 
+let test_crc32_known_vectors () =
+  (* IEEE 802.3 check values. *)
+  Alcotest.(check int) "empty" 0 (Hashing.crc32 "");
+  Alcotest.(check int) "123456789" 0xCBF43926 (Hashing.crc32 "123456789");
+  Alcotest.(check int) "slice matches substring" (Hashing.crc32 "3456")
+    (Hashing.crc32 ~pos:2 ~len:4 "123456789")
+
+let test_crc32_detects_flips () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let base = Hashing.crc32 s in
+  for i = 0 to String.length s - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string s in
+      Bytes.set b i (Char.chr (Char.code s.[i] lxor (1 lsl bit)));
+      if Hashing.crc32 (Bytes.to_string b) = base then
+        Alcotest.failf "flip at byte %d bit %d undetected" i bit
+    done
+  done
+
+let test_crc32_rejects_bad_slice () =
+  Alcotest.check_raises "len past end"
+    (Invalid_argument "Hashing.crc32") (fun () ->
+      ignore (Hashing.crc32 ~pos:4 ~len:2 "12345"))
+
 (* --- table -------------------------------------------------------------- *)
 
 let contains haystack needle =
@@ -316,6 +340,76 @@ let test_pool_parse_domains () =
   check_err "empty" "";
   check_err "trailing junk" "4x"
 
+let test_pool_map_result_quarantines_slot () =
+  (* A raising task poisons only its own slot; every other element still
+     computes — the whole point of quarantine vs the abort semantics of
+     plain [map_array] (tested above, unchanged). *)
+  Pool.with_pool ~domains:4 (fun pool ->
+      let arr = Array.init 64 Fun.id in
+      let results =
+        Pool.map_array_result ~chunk:1 ~retries:0 pool
+          (fun x -> if x mod 17 = 3 then raise (Boom x) else x * 2)
+          arr
+      in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> Alcotest.(check int) "ok slot" (i * 2) v
+          | Error (Boom x) ->
+            Alcotest.(check int) "poisoned slot keeps its exception" i x;
+            Alcotest.(check int) "only raising inputs quarantined" 3 (x mod 17)
+          | Error e -> raise e)
+        results;
+      (* The pool survives quarantined tasks. *)
+      Alcotest.(check (array int)) "pool still works" (Array.map succ arr)
+        (Pool.map_array pool succ arr))
+
+let test_pool_map_result_retry_recovers () =
+  (* A once-flaky task succeeds on its retry and the slot reports [Ok];
+     the retry callback sees each first failure. *)
+  Pool.with_pool ~domains:3 (fun pool ->
+      let attempts = Array.init 32 (fun _ -> Atomic.make 0) in
+      let retried = Atomic.make 0 in
+      let results =
+        Pool.map_array_result ~retries:1
+          ~on_retry:(fun _ -> Atomic.incr retried)
+          pool
+          (fun x ->
+            if Atomic.fetch_and_add attempts.(x) 1 = 0 && x mod 5 = 0 then
+              raise (Boom x)
+            else x + 100)
+          (Array.init 32 Fun.id)
+      in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> Alcotest.(check int) "recovered" (i + 100) v
+          | Error e -> raise e)
+        results;
+      Alcotest.(check int) "one retry per flaky element" 7 (Atomic.get retried))
+
+let test_pool_map_result_exhausts_retries () =
+  (* Persistent failure: retried the configured number of times, then the
+     slot is an [Error] carrying the last exception. *)
+  let attempts = Atomic.make 0 in
+  let results =
+    Pool.map_array_result ~retries:2 Pool.serial
+      (fun _ ->
+        Atomic.incr attempts;
+        raise (Boom 7))
+      [| () |]
+  in
+  (match results.(0) with
+  | Error (Boom 7) -> ()
+  | Error e -> raise e
+  | Ok _ -> Alcotest.fail "expected quarantine");
+  Alcotest.(check int) "initial attempt + 2 retries" 3 (Atomic.get attempts)
+
+let test_pool_map_result_rejects_negative_retries () =
+  Alcotest.check_raises "retries -1"
+    (Invalid_argument "Pool.map_array_result: retries must be >= 0") (fun () ->
+      ignore (Pool.map_array_result ~retries:(-1) Pool.serial Fun.id [| 1 |]))
+
 let pool_map_property =
   QCheck.Test.make ~count:100 ~name:"Pool.map_array ≡ Array.map"
     QCheck.(pair (list int) (int_range 1 17))
@@ -367,6 +461,9 @@ let () =
           Alcotest.test_case "length prefix" `Quick test_hash_length_prefix;
           Alcotest.test_case "float by bits" `Quick test_hash_float_vs_int;
           Alcotest.test_case "combine order" `Quick test_hash_combine_order;
+          Alcotest.test_case "crc32 vectors" `Quick test_crc32_known_vectors;
+          Alcotest.test_case "crc32 flip detection" `Quick test_crc32_detects_flips;
+          Alcotest.test_case "crc32 slice validation" `Quick test_crc32_rejects_bad_slice;
         ] );
       ( "table",
         [
@@ -386,6 +483,14 @@ let () =
           Alcotest.test_case "argument validation" `Quick test_pool_rejects_bad_arguments;
           Alcotest.test_case "FF_DOMAINS parsing" `Quick test_pool_parse_domains;
           Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+          Alcotest.test_case "quarantine poisons one slot" `Quick
+            test_pool_map_result_quarantines_slot;
+          Alcotest.test_case "quarantine retry recovers" `Quick
+            test_pool_map_result_retry_recovers;
+          Alcotest.test_case "quarantine exhausts retries" `Quick
+            test_pool_map_result_exhausts_retries;
+          Alcotest.test_case "quarantine argument validation" `Quick
+            test_pool_map_result_rejects_negative_retries;
           QCheck_alcotest.to_alcotest pool_map_property;
         ] );
     ]
