@@ -355,6 +355,193 @@ let emit_vm_json () =
     close_out oc;
     Printf.printf "wrote BENCH_vm.json (speedup %.2fx)\n%!" speedup
 
+(* --- static outcome prover: prune ratio and end-to-end speedup ---------- *)
+
+type prune_row = {
+  pr_name : string;
+  pr_classes : int;
+  pr_masked : int;
+  pr_crash : int;
+  pr_benign : int;
+  pr_on_s : float;
+  pr_off_s : float;
+  pr_identical : bool;
+}
+
+let prune_rows : prune_row list ref = ref []
+let pr_proved r = r.pr_masked + r.pr_crash + r.pr_benign
+
+let pr_ratio r =
+  if r.pr_classes > 0 then float_of_int (pr_proved r) /. float_of_int r.pr_classes
+  else 0.0
+
+let pr_speedup r = if r.pr_on_s > 0.0 then r.pr_off_s /. r.pr_on_s else 0.0
+
+let print_prune config =
+  (* Per benchmark (V_none): run the full per-section campaign with the
+     prover on and off, serially, and compare. The prover may only
+     change the work accounting — the outcome arrays must be
+     bit-identical, and a divergence is fatal: it would mean the prover
+     claimed an outcome the replay disagrees with. Timing is interleaved
+     best-of-N like the vm artifact, so both variants see the same
+     scheduler interference. *)
+  let campaign_config = config.Pipeline.campaign in
+  let on_config = { campaign_config with Campaign.prove = Ff_inject.Prover.on } in
+  let off_config = { campaign_config with Campaign.prove = Ff_inject.Prover.off } in
+  let rows =
+    List.map
+      (fun bench ->
+        let program = Ff_lang.Frontend.compile_exn (bench.Defs.source Defs.V_none) in
+        let golden = Ff_vm.Golden.run program in
+        let nsections = Array.length golden.Ff_vm.Golden.sections in
+        let classes =
+          Array.init nsections (fun i ->
+              Ff_inject.Eqclass.for_section golden.Ff_vm.Golden.sections.(i)
+                campaign_config.Campaign.bits)
+        in
+        let nclasses = Array.fold_left (fun acc c -> acc + List.length c) 0 classes in
+        (* Proof-kind tally straight from the prover (replay-free). *)
+        let masked = ref 0 and crash = ref 0 and benign = ref 0 in
+        Array.iteri
+          (fun i cls ->
+            let proofs =
+              Ff_inject.Prover.prove_section golden ~section_index:i
+                ~timeout_factor:on_config.Campaign.timeout_factor
+                ~burst:on_config.Campaign.burst on_config.Campaign.prove
+                (Array.of_list cls)
+            in
+            Array.iter
+              (function
+                | Some (Ff_inject.Outcome.S_detected _) -> incr crash
+                | Some (Ff_inject.Outcome.S_sdc _ as o) ->
+                  if Ff_inject.Outcome.section_is_masked o then incr masked
+                  else incr benign
+                | None -> ())
+              proofs)
+          classes;
+        let campaign cfg =
+          Array.init nsections (fun i ->
+              Campaign.run_section ~classes:classes.(i) golden ~section_index:i cfg)
+        in
+        ignore (campaign on_config);
+        ignore (campaign off_config);
+        (* Batch iterations so each sample is well above timer noise for
+           the sub-millisecond campaigns, then take best-of-3. *)
+        let _, est = wall (fun () -> campaign off_config) in
+        let iters = max 1 (min 16 (int_of_float (ceil (0.02 /. Float.max 1e-6 est)))) in
+        let run_batch cfg =
+          let res = ref [||] in
+          let _, s =
+            wall (fun () ->
+                for _ = 1 to iters do
+                  res := campaign cfg
+                done)
+          in
+          (!res, s /. float_of_int iters)
+        in
+        let reps = 3 in
+        let best_on = ref infinity and best_off = ref infinity in
+        let on_results = ref [||] and off_results = ref [||] in
+        for _ = 1 to reps do
+          let r_on, s_on = run_batch on_config in
+          if s_on < !best_on then best_on := s_on;
+          on_results := r_on;
+          let r_off, s_off = run_batch off_config in
+          if s_off < !best_off then best_off := s_off;
+          off_results := r_off
+        done;
+        let identical =
+          same
+            (Array.map (fun r -> r.Campaign.s_classes) !on_results)
+            (Array.map (fun r -> r.Campaign.s_classes) !off_results)
+        in
+        {
+          pr_name = bench.Defs.name;
+          pr_classes = nclasses;
+          pr_masked = !masked;
+          pr_crash = !crash;
+          pr_benign = !benign;
+          pr_on_s = !best_on;
+          pr_off_s = !best_off;
+          pr_identical = identical;
+        })
+      Registry.all
+  in
+  prune_rows := rows;
+  let t =
+    Ff_support.Table.create
+      ~title:"Static outcome prover: classes proved without replay (V_none, serial)"
+      [
+        ("Benchmark", Ff_support.Table.Left);
+        ("Classes", Ff_support.Table.Right);
+        ("Proved", Ff_support.Table.Right);
+        ("Masked", Ff_support.Table.Right);
+        ("Crash", Ff_support.Table.Right);
+        ("Benign", Ff_support.Table.Right);
+        ("Prune", Ff_support.Table.Right);
+        ("On s", Ff_support.Table.Right);
+        ("Off s", Ff_support.Table.Right);
+        ("Speedup", Ff_support.Table.Right);
+        ("Identical", Ff_support.Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Ff_support.Table.add_row t
+        [
+          r.pr_name;
+          string_of_int r.pr_classes;
+          string_of_int (pr_proved r);
+          string_of_int r.pr_masked;
+          string_of_int r.pr_crash;
+          string_of_int r.pr_benign;
+          Printf.sprintf "%.1f%%" (100.0 *. pr_ratio r);
+          Printf.sprintf "%.3f" r.pr_on_s;
+          Printf.sprintf "%.3f" r.pr_off_s;
+          Printf.sprintf "%.2fx" (pr_speedup r);
+          string_of_bool r.pr_identical;
+        ])
+    rows;
+  Ff_support.Table.print t;
+  if not (List.for_all (fun r -> r.pr_identical) rows) then begin
+    prerr_endline "FATAL: prover-pruned campaign diverged from full replay";
+    exit 1
+  end
+
+let emit_prune_json () =
+  match !prune_rows with
+  | [] -> ()
+  | rows ->
+    let buf = Buffer.create 1024 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    add "{\n  \"benchmarks\": [";
+    List.iteri
+      (fun i r ->
+        add
+          "%s\n    { \"name\": %S, \"classes\": %d, \"proved\": %d, \"residual\": %d, \
+           \"masked\": %d, \"crash\": %d, \"benign\": %d, \"prune_ratio\": %.4f, \
+           \"injections_avoided\": %d, \"prove_on_s\": %.6f, \"prove_off_s\": %.6f, \
+           \"speedup\": %.3f, \"identical\": %b }"
+          (if i = 0 then "" else ",")
+          r.pr_name r.pr_classes (pr_proved r)
+          (r.pr_classes - pr_proved r)
+          r.pr_masked r.pr_crash r.pr_benign (pr_ratio r) (pr_proved r) r.pr_on_s
+          r.pr_off_s (pr_speedup r) r.pr_identical)
+      rows;
+    let best = List.fold_left (fun acc r -> Float.max acc (pr_ratio r)) 0.0 rows in
+    let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+    let aggregate =
+      let on = sum (fun r -> r.pr_on_s) in
+      if on > 0.0 then sum (fun r -> r.pr_off_s) /. on else 0.0
+    in
+    add "\n  ],\n  \"best_prune_ratio\": %.4f,\n  \"aggregate_speedup\": %.3f\n}\n" best
+      aggregate;
+    let oc = open_out "BENCH_prune.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "wrote BENCH_prune.json (best prune ratio %.1f%%, aggregate speedup %.2fx)\n%!"
+      (100.0 *. best) aggregate
+
 (* --- Bechamel micro-benchmarks ----------------------------------------- *)
 
 let micro () =
@@ -431,6 +618,7 @@ let artifacts =
     ("evolution", print_evolution);
     ("parallel", print_parallel);
     ("vm", print_vm);
+    ("prune", print_prune);
   ]
 
 let run_artifact config name f =
@@ -475,6 +663,7 @@ let () =
       names);
   emit_parallel_json ~quick ();
   emit_vm_json ();
+  emit_prune_json ();
   (match metrics with
   | Some path ->
     Telemetry.write ~path ();

@@ -6,8 +6,10 @@
 #
 # Exits nonzero if the bench itself fails, if the serial-vs-parallel
 # identical-results check fails, if the unboxed engine diverges from the
-# boxed oracle, or if BENCH_parallel.json / BENCH_vm.json are missing or
-# malformed — so CI catches a silently broken bench, not just a crashed one.
+# boxed oracle, if a prover-pruned campaign diverges from full replay, or
+# if BENCH_parallel.json / BENCH_vm.json / BENCH_prune.json are missing
+# or malformed — so CI catches a silently broken bench, not just a
+# crashed one.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,10 +20,11 @@ fail() {
 
 dune build bench/main.exe
 
-rm -f BENCH_parallel.json BENCH_vm.json
-# main.exe exits nonzero itself when the parallel run diverges from serial
-# or the unboxed engine diverges from the boxed oracle.
-FF_DOMAINS=2 dune exec bench/main.exe -- quick parallel table3 vm \
+rm -f BENCH_parallel.json BENCH_vm.json BENCH_prune.json
+# main.exe exits nonzero itself when the parallel run diverges from serial,
+# the unboxed engine diverges from the boxed oracle, or a prover-pruned
+# campaign diverges from full replay.
+FF_DOMAINS=2 dune exec bench/main.exe -- quick parallel table3 vm prune \
   --metrics BENCH_metrics.json
 
 [ -s BENCH_parallel.json ] || fail "BENCH_parallel.json missing or empty"
@@ -38,7 +41,16 @@ grep -q '"engines"' BENCH_vm.json || fail "BENCH_vm.json malformed: no \"engines
 grep -q '"campaign_speedup"' BENCH_vm.json || fail "BENCH_vm.json malformed: no \"campaign_speedup\" key"
 grep -q '"identical": true' BENCH_vm.json || fail "unboxed engine not verified identical to boxed oracle"
 
+[ -s BENCH_prune.json ] || fail "BENCH_prune.json missing or empty"
+grep -q '"prune_ratio"' BENCH_prune.json || fail "BENCH_prune.json malformed: no \"prune_ratio\" key"
+grep -q '"aggregate_speedup"' BENCH_prune.json || fail "BENCH_prune.json malformed: no \"aggregate_speedup\" key"
+grep -q '"identical": true' BENCH_prune.json || fail "prover-pruned campaign not verified identical to full replay"
+if grep -q '"identical": false' BENCH_prune.json; then
+  fail "prover-pruned campaign diverged from full replay"
+fi
+
 [ -s BENCH_metrics.json ] || fail "BENCH_metrics.json missing or empty"
 grep -q '"campaign.injections"' BENCH_metrics.json || fail "BENCH_metrics.json malformed: no campaign counters"
+grep -q '"prover.classes_proved"' BENCH_metrics.json || fail "BENCH_metrics.json malformed: no prover counters"
 
-echo "bench/smoke.sh: ok (parallel + engine results identical, artifacts well-formed)"
+echo "bench/smoke.sh: ok (parallel + engine + prover results identical, artifacts well-formed)"

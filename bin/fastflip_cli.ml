@@ -32,15 +32,19 @@ let compile_file path =
     Format.eprintf "%s: %a@." path Ff_lang.Frontend.pp_error e;
     exit 1
 
-let config_of ~bits ~samples =
+let config_of ~bits ~samples ~no_prove =
   let bit_list =
     match bits with
     | [] -> Site.default_bits
     | bits -> Site.Bit_list bits
   in
+  let prove =
+    if no_prove then Ff_inject.Prover.off else Ff_inject.Prover.default_policy
+  in
   {
     Pipeline.default_config with
-    Pipeline.campaign = { Campaign.default_config with Campaign.bits = bit_list };
+    Pipeline.campaign =
+      { Campaign.default_config with Campaign.bits = bit_list; prove };
     sensitivity_samples = samples;
   }
 
@@ -63,6 +67,10 @@ let samples_arg =
 let epsilon_arg =
   Arg.(value & opt float 0.0 & info [ "epsilon" ] ~docv:"E"
          ~doc:"SDC-Bad threshold: SDC magnitudes up to E are acceptable.")
+
+let no_prove_arg =
+  Arg.(value & flag & info [ "no-prove" ]
+         ~doc:"Disable the static outcome prover pre-pass and replay every               equivalence class (the $(b,FF_PROVE=off) environment variable has               the same effect). Results are bit-identical either way — the               prover only skips replays whose outcome it has already proved —               so this is a triage/measurement knob, not a semantic one. Note               that prove-on and prove-off runs never share $(b,--store) records:               the prover policy is part of the store key.")
 
 let jobs_arg =
   Arg.(value & opt int (Pool.default_domains ()) & info [ "j"; "jobs" ] ~docv:"N"
@@ -215,8 +223,9 @@ let run_cmd =
 (* --- analyze ---------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run path target bits samples epsilon store_path strict jobs metrics every resume =
-    let config = { (config_of ~bits ~samples) with Pipeline.epsilon } in
+  let run path target bits samples epsilon store_path strict jobs metrics every resume
+      no_prove =
+    let config = { (config_of ~bits ~samples ~no_prove) with Pipeline.epsilon } in
     let program = compile_file path in
     let analysis =
       with_metrics metrics (fun () ->
@@ -265,13 +274,13 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the full FastFlip analysis on a program and print the selection.")
-    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ store_arg $ strict_store_arg $ jobs_arg $ metrics_arg $ checkpoint_every_arg $ resume_arg)
+    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ store_arg $ strict_store_arg $ jobs_arg $ metrics_arg $ checkpoint_every_arg $ resume_arg $ no_prove_arg)
 
 (* --- compare ----------------------------------------------------------------- *)
 
 let compare_cmd =
-  let run path target bits samples epsilon jobs metrics =
-    let config = { (config_of ~bits ~samples) with Pipeline.epsilon } in
+  let run path target bits samples epsilon jobs metrics no_prove =
+    let config = { (config_of ~bits ~samples ~no_prove) with Pipeline.epsilon } in
     let program = compile_file path in
     let ff, base =
       with_metrics metrics (fun () ->
@@ -298,7 +307,7 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Compare FastFlip's selection against the monolithic baseline.")
-    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ jobs_arg $ metrics_arg)
+    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ jobs_arg $ metrics_arg $ no_prove_arg)
 
 (* --- bench -------------------------------------------------------------------- *)
 
@@ -307,14 +316,14 @@ let bench_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
            ~doc:"Benchmark name (see 'fastflip list').")
   in
-  let run name bits samples jobs metrics =
+  let run name bits samples jobs metrics no_prove =
     match Ff_benchmarks.Registry.find name with
     | None ->
       Printf.eprintf "unknown benchmark %s; try: %s\n" name
         (String.concat ", " Ff_benchmarks.Registry.names);
       exit 1
     | Some bench ->
-      let config = config_of ~bits ~samples in
+      let config = config_of ~bits ~samples ~no_prove in
       let run =
         with_metrics metrics (fun () ->
             with_jobs jobs (fun pool ->
@@ -343,7 +352,7 @@ let bench_cmd =
       Table.print t
   in
   Cmd.v (Cmd.info "bench" ~doc:"Analyze a built-in benchmark across its three versions.")
-    Term.(const run $ name_arg $ bits_arg $ samples_arg $ jobs_arg $ metrics_arg)
+    Term.(const run $ name_arg $ bits_arg $ samples_arg $ jobs_arg $ metrics_arg $ no_prove_arg)
 
 (* --- list ---------------------------------------------------------------------- *)
 

@@ -42,6 +42,12 @@ let eval e assignment =
       if x = 0.0 then acc else acc +. (c *. x))
     0.0 e
 
+let max_coeff e = List.fold_left (fun acc (_, c) -> Float.max acc c) 0.0 e
+
+let sum_coeffs e = List.fold_left (fun acc (_, c) -> acc +. c) 0.0 e
+
+let sup e ~phi = if phi = 0.0 then 0.0 else sum_coeffs e *. phi
+
 let is_zero e = e = []
 
 let equal a b =

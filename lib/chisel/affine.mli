@@ -45,6 +45,20 @@ val eval : t -> (var -> float) -> float
     nothing even under an infinite coefficient (0·∞ is 0 here: "no SDC
     introduced means no SDC propagated"). *)
 
+val max_coeff : t -> float
+(** Largest coefficient; 0 for {!zero}. *)
+
+val sum_coeffs : t -> float
+(** Sum of all coefficients; 0 for {!zero}. *)
+
+val sup : t -> phi:float -> float
+(** Interval bound of the expression when every variable lies in
+    [[0, phi]]: [sum_coeffs e *. phi] (0 when [phi] is 0, even under an
+    infinite coefficient — the same 0·∞ convention as {!eval}). The
+    bit-sensitivity bound the outcome prover's benign rule rests on: an
+    injection whose per-section SDC magnitude is at most [phi] cannot
+    move any end-to-end output by more than [sup]. *)
+
 val is_zero : t -> bool
 
 val equal : t -> t -> bool

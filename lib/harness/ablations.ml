@@ -112,9 +112,11 @@ let pruning runs =
   let t =
     Table.create
       ~title:
-        "Ablation: equivalence-class pruning (§5.1). Pilots actually injected\n\
-         vs error sites covered; the baseline's whole-trace classes prune more\n\
-         whenever the schedule repeats kernels."
+        "Ablation: injection pruning (§5.1). Pilots actually injected vs error\n\
+         sites covered; FastFlip's ratio folds in both equivalence-class\n\
+         grouping and the static outcome prover (classes proved without\n\
+         replay), the baseline's whole-trace classes prune more whenever the\n\
+         schedule repeats kernels."
       [
         ("Benchmark", Table.Left);
         ("Sites |J|", Table.Right);

@@ -28,6 +28,7 @@ let m_retries = Telemetry.counter "campaign.retries"
 let m_quarantined = Telemetry.counter "campaign.quarantined"
 let m_journal_batches = Telemetry.counter "campaign.journal.batches"
 let m_journal_restored = Telemetry.counter "campaign.journal.restored"
+let m_avoided = Telemetry.counter "campaign.injections_avoided"
 
 let tally_detected = function
   | Outcome.Crash -> Telemetry.incr m_crash
@@ -49,15 +50,27 @@ type config = {
   bits : Site.bit_policy;
   timeout_factor : float;
   burst : int;
+  prove : Prover.policy;
 }
 
-let default_config = { bits = Site.default_bits; timeout_factor = 5.0; burst = 1 }
+let default_config =
+  {
+    bits = Site.default_bits;
+    timeout_factor = 5.0;
+    burst = 1;
+    prove = Prover.default_policy;
+  }
 
 let config_hash config =
   let h = Hashing.create () in
   List.iter (Hashing.add_int h) (Site.bits_of_policy config.bits);
   Hashing.add_float h config.timeout_factor;
   Hashing.add_int h config.burst;
+  (* The prover policy hash covers Prover.version, so stored records and
+     checkpoint journals never mix prover generations or prove-on/off
+     runs — a prover bug can be bisected with FF_PROVE=off without any
+     risk of reading poisoned cache entries back. *)
+  Hashing.add_int64 h (Prover.policy_hash config.prove);
   Hashing.value h
 
 type section_result = {
@@ -98,25 +111,40 @@ let run_plain ~pool ~quarantined run_one classes =
     (function Ok r -> r | Error e -> quarantined e)
     (Pool.map_array_result ~on_retry pool run_one classes)
 
-(* Journaled execution: run [classes] in batches of [j_every] — outcomes
-   already in the journal are restored without replaying, and each
-   completed batch is appended (and made durable) before the next starts,
-   so a killed campaign resumes from its last checkpoint with
-   bit-identical results (every class outcome is deterministic, and
-   per-class work counts ride along in the journal). *)
-let run_journaled ~pool ~journal:j ~quarantined run_one classes =
+(* The prover pre-pass: one slot per class, proved classes decided with
+   zero replays and zero metered work. Returns the residual class
+   indices, in enumeration order. *)
+let prove_slots proofs slots =
+  let residual = ref [] in
+  for i = Array.length proofs - 1 downto 0 do
+    match proofs.(i) with
+    | Some outcome -> slots.(i) <- Some (outcome, 0)
+    | None -> residual := i :: !residual
+  done;
+  Array.of_list !residual
+
+(* Journaled execution of the residual class indices in batches of
+   [j_every] — outcomes already in the journal are restored without
+   replaying, and each completed batch is appended (and made durable)
+   before the next starts, so a killed campaign resumes from its last
+   checkpoint with bit-identical results (every class outcome is
+   deterministic, and per-class work counts ride along in the journal).
+   Journal entries are keyed by class index in enumeration order;
+   proved classes are never journaled, and the prover is deterministic
+   for a fixed store key (which folds the prover policy hash), so the
+   residual index set of a resumed run always matches the killed one. *)
+let run_journaled ~pool ~journal:j ~quarantined run_one indices slots =
   let checked results =
     Array.map (function Ok r -> r | Error e -> quarantined e) results
   in
   begin
     if j.j_every < 1 then invalid_arg "Campaign.run_journaled: journal step must be >= 1";
-    let n = Array.length classes in
-    let out = Array.make n None in
     let todo = ref [] in
-    for i = n - 1 downto 0 do
+    for k = Array.length indices - 1 downto 0 do
+      let i = indices.(k) in
       match Hashtbl.find_opt j.j_done i with
       | Some r ->
-        out.(i) <- Some r;
+        slots.(i) <- Some r;
         Telemetry.incr m_journal_restored
       | None -> todo := i :: !todo
     done;
@@ -126,11 +154,8 @@ let run_journaled ~pool ~journal:j ~quarantined run_one classes =
     while !start < m do
       let b = min j.j_every (m - !start) in
       let batch = Array.sub todo !start b in
-      let results =
-        checked
-          (Pool.map_array_result ~on_retry pool (fun i -> run_one classes.(i)) batch)
-      in
-      Array.iteri (fun k i -> out.(i) <- Some results.(k)) batch;
+      let results = checked (Pool.map_array_result ~on_retry pool run_one batch) in
+      Array.iteri (fun k i -> slots.(i) <- Some results.(k)) batch;
       j.j_append
         (Array.to_list
            (Array.mapi
@@ -140,8 +165,7 @@ let run_journaled ~pool ~journal:j ~quarantined run_one classes =
               batch));
       Telemetry.incr m_journal_batches;
       start := !start + b
-    done;
-    Array.map (function Some r -> r | None -> assert false) out
+    done
   end
 
 let run_section ?(pool = Pool.serial) ?(engine = Replay.default_engine) ?classes ?journal
@@ -156,7 +180,15 @@ let run_section ?(pool = Pool.serial) ?(engine = Replay.default_engine) ?classes
     | None -> Eqclass.for_section section config.bits
   in
   let classes = Array.of_list class_list in
-  let run_one cls =
+  let n = Array.length classes in
+  let proofs =
+    Prover.prove_section golden ~section_index ~timeout_factor:config.timeout_factor
+      ~burst:config.burst config.prove classes
+  in
+  let slots = Array.make n None in
+  let residual = prove_slots proofs slots in
+  let run_one i =
+    let cls = classes.(i) in
     let injection = Site.machine_injection cls.Eqclass.pilot in
     let replay =
       Replay.run_section ~burst:config.burst ~engine golden section injection
@@ -164,24 +196,32 @@ let run_section ?(pool = Pool.serial) ?(engine = Replay.default_engine) ?classes
     in
     (Outcome.of_section_replay replay, replay.Replay.s_executed)
   in
-  let outcomes =
-    match journal with
-    | None -> run_plain ~pool ~quarantined:quarantined_section run_one classes
-    | Some journal ->
-      run_journaled ~pool ~journal ~quarantined:quarantined_section run_one classes
+  (match journal with
+  | None ->
+    let results = run_plain ~pool ~quarantined:quarantined_section run_one residual in
+    Array.iteri (fun k i -> slots.(i) <- Some results.(k)) residual
+  | Some journal ->
+    run_journaled ~pool ~journal ~quarantined:quarantined_section run_one residual slots);
+  let tagged =
+    Array.mapi
+      (fun i slot ->
+        match slot with
+        | Some (outcome, work) -> ((classes.(i), outcome), work)
+        | None -> assert false)
+      slots
   in
-  let tagged = Array.mapi (fun i (outcome, work) -> ((classes.(i), outcome), work)) outcomes in
   let result =
     {
       section_index;
       s_classes = Array.map fst tagged;
       s_work = sum_work tagged;
-      s_injections = Array.length classes;
+      s_injections = Array.length residual;
       s_sites = Eqclass.total_sites class_list;
     }
   in
   Telemetry.incr m_sections;
   Telemetry.add m_injections result.s_injections;
+  Telemetry.add m_avoided (n - Array.length residual);
   Telemetry.add m_sites result.s_sites;
   Telemetry.add m_work result.s_work;
   Telemetry.observe h_section_work result.s_work;
@@ -241,9 +281,16 @@ let final_outcomes_for_section ?(pool = Pool.serial) ?(engine = Replay.default_e
       let section = golden.Golden.sections.(section_index) in
       Array.of_list (Eqclass.for_section section config.bits)
   in
-  let outcomes =
+  let proofs =
+    Prover.prove_final golden ~section_index ~timeout_factor:config.timeout_factor
+      ~burst:config.burst config.prove classes
+  in
+  let slots = Array.make (Array.length classes) None in
+  let residual = prove_slots proofs slots in
+  let results =
     run_plain ~pool ~quarantined:quarantined_final
-      (fun cls ->
+      (fun i ->
+        let cls = classes.(i) in
         let injection = Site.machine_injection cls.Eqclass.pilot in
         let replay =
           Replay.run_to_end ~burst:config.burst ~engine golden
@@ -251,10 +298,18 @@ let final_outcomes_for_section ?(pool = Pool.serial) ?(engine = Replay.default_e
             ~timeout_factor:config.timeout_factor
         in
         (Outcome.of_program_replay replay, replay.Replay.p_executed))
-      classes
+      residual
   in
-  let tagged = Array.mapi (fun i (outcome, work) -> ((classes.(i), outcome), work)) outcomes in
+  Array.iteri (fun k i -> slots.(i) <- Some results.(k)) residual;
+  let tagged =
+    Array.mapi
+      (fun i slot ->
+        match slot with
+        | Some (outcome, work) -> ((classes.(i), outcome), work)
+        | None -> assert false)
+      slots
+  in
   let work = sum_work tagged in
-  Telemetry.add m_f_injections (Array.length classes);
+  Telemetry.add m_f_injections (Array.length residual);
   Telemetry.add m_f_work work;
   (Array.map fst tagged, work)

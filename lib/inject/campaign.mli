@@ -18,20 +18,29 @@ type config = {
   burst : int;             (** bits flipped per injection: 1 is the paper's
                                single-event-upset model; larger widths model
                                multi-bit upsets on adjacent bits (§4.8) *)
+  prove : Prover.policy;   (** static outcome prover pre-pass: proved classes
+                               record their outcome with zero injections;
+                               {!Prover.off} replays everything *)
 }
 
 val default_config : config
-(** {!Site.default_bits}, timeout factor 5, single-bit flips. *)
+(** {!Site.default_bits}, timeout factor 5, single-bit flips, prover per
+    {!Prover.default_policy} (on unless [FF_PROVE=off]). *)
 
 val config_hash : config -> int64
 (** Key component for the incremental analysis store: results are only
-    reusable under the same campaign configuration. *)
+    reusable under the same campaign configuration. Folds
+    {!Prover.policy_hash} (prover version included), so prove-on and
+    prove-off runs — and different prover generations — never share
+    cached records or checkpoint journals. *)
 
 type section_result = {
   section_index : int;
   s_classes : (Eqclass.t * Outcome.section_outcome) array;
-  s_work : int;        (** dynamic instructions simulated *)
-  s_injections : int;  (** pilots injected *)
+  s_work : int;        (** dynamic instructions simulated (residual replays) *)
+  s_injections : int;  (** pilots actually replayed — proved classes cost
+                           none, so this is [|s_classes|] minus the proved
+                           count (see [campaign.injections_avoided]) *)
   s_sites : int;       (** |J_s| covered (class members) *)
 }
 
@@ -64,16 +73,28 @@ val run_section :
     {!Ff_vm.Replay.default_engine}) selects the execution engine; both
     produce bit-identical outcomes, which is why it is deliberately
     absent from {!config_hash} — stored results remain valid across
-    engines. [classes] supplies a pre-enumerated class list (it must be
+    engines (the prover policy, by contrast, {e is} folded in).
+    [classes] supplies a pre-enumerated class list (it must be
     {!Eqclass.for_section} of this section under [config]); when absent
     the classes are enumerated here.
 
-    With a [journal], outcomes present in [j_done] are restored without
-    replaying and the rest run in batches of [j_every] classes, each
-    batch checkpointed through [j_append] — a campaign killed at any
-    point resumes to a bit-identical [section_result] (outcomes {e and}
-    work counters). Without one, all classes fan out over the pool in a
-    single map.
+    The {!Prover} pre-pass runs first (unless [config.prove] disables
+    it), partitioning the classes into {e proved} — outcome recorded
+    with zero injections and zero metered work, counted under
+    [prover.classes_*] and [campaign.injections_avoided] — and
+    {e residual}, which fan out to the pool exactly as before. Proved
+    outcomes equal what the replay would have produced bit for bit, so
+    [s_classes] is identical with the prover on or off; only
+    [s_injections]/[s_work] shrink.
+
+    With a [journal], residual outcomes present in [j_done] are restored
+    without replaying and the rest run in batches of [j_every] classes,
+    each batch checkpointed through [j_append] — a campaign killed at
+    any point resumes to a bit-identical [section_result] (outcomes
+    {e and} work counters). Proved classes are never journaled: the
+    prover re-decides them deterministically on resume (the store key
+    pins the prover policy). Without a journal, the residual classes fan
+    out over the pool in a single map.
 
     Replays are {e quarantined} ({!Ff_support.Pool.map_array_result}): a
     replay that raises is retried once and then recorded as a

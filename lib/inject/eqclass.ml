@@ -1,4 +1,3 @@
-open Ff_ir
 open Ff_vm
 
 type t = {
@@ -25,29 +24,34 @@ let compare_class a b =
   | c -> c
 
 (* Group the dynamic instances of each (pc, operand) of a section;
-   classes for each bit share the member list. *)
+   classes for each bit share the member list. The trace is walked once
+   to build one member list per static pc — traces revisit the same few
+   pcs thousands of times, so operands come from the decode-time tables
+   ({!Decode.nsrcs}/{!Decode.dst_at}) per static instruction rather than
+   being re-derived from the boxed [Instr.t] per dynamic instance, and
+   every operand of a pc shares the same member list. *)
 let groups_of_section (section : Golden.section_run) =
-  let code = section.Golden.kernel.Kernel.code in
+  let decoded = section.Golden.decoded in
+  let npc = Decode.length decoded in
+  let per_pc_members = Array.make npc [] in
+  let si = section.Golden.section_index in
+  Array.iteri
+    (fun dyn pc_idx -> per_pc_members.(pc_idx) <- (si, dyn) :: per_pc_members.(pc_idx))
+    section.Golden.trace;
   let table : (Site.pc * Site.operand, (int * int) list ref) Hashtbl.t =
     Hashtbl.create 256
   in
-  Array.iteri
-    (fun dyn pc_idx ->
+  for pc_idx = 0 to npc - 1 do
+    match per_pc_members.(pc_idx) with
+    | [] -> ()
+    | members ->
       let pc = { Site.kernel = section.Golden.kernel_index; instr = pc_idx } in
-      List.iter
-        (fun operand ->
-          let key = (pc, operand) in
-          let cell =
-            match Hashtbl.find_opt table key with
-            | Some cell -> cell
-            | None ->
-              let cell = ref [] in
-              Hashtbl.replace table key cell;
-              cell
-          in
-          cell := (section.Golden.section_index, dyn) :: !cell)
-        (Site.operands code.(pc_idx)))
-    section.Golden.trace;
+      for i = 0 to Decode.nsrcs decoded pc_idx - 1 do
+        Hashtbl.replace table (pc, Site.Src i) (ref members)
+      done;
+      if Decode.dst_at decoded pc_idx >= 0 then
+        Hashtbl.replace table (pc, Site.Dst) (ref members)
+  done;
   table
 
 let classes_of_groups table policy =

@@ -1,0 +1,680 @@
+open Ff_ir
+open Ff_vm
+module Hashing = Ff_support.Hashing
+module Telemetry = Ff_support.Telemetry
+module Liveness = Ff_chisel.Dataflow.Liveness
+
+(* Static outcome prover: decide the outcome of whole equivalence
+   classes from the decoded IR and the golden trace alone, before any
+   replay. The core is an exact single-fault forward walk along the
+   section's concrete golden schedule: starting from the flipped
+   operand, it tracks the exact faulty value of every corrupted register
+   and memory element, evaluating corrupted instructions with the
+   reference interpreter's own operation semantics ({!Machine.eval_ibin}
+   and friends, including their trap conditions). As long as control
+   flow and memory addressing stay on the golden path, the walk is a
+   bit-exact mirror of what a replay would compute, so every decision it
+   reaches — the taint dies (Masked), the fault provably traps (Crash),
+   or it completes with an exactly-known output perturbation (Benign
+   SDC) — equals the replay outcome by construction. Anything else
+   (control divergence, reads/writes through a corrupted address,
+   non-finite faulty values, side-effect writes) is left undecided and
+   fanned out to the replay pool as before: the prover may abstain, it
+   may never disagree.
+
+   Soundness rests on three guards:
+   - the golden recording pass is self-validating: it re-executes the
+     section with the boxed semantics and aborts (disabling the prover
+     for the section) unless its pc stream and exit buffers match the
+     golden run bit for bit;
+   - sections whose replay budget could not even cover the golden
+     schedule, or whose golden exit already holds non-finite writable
+     values (where even a masked replay reports Misformatted), are
+     refused wholesale;
+   - decided SDC magnitudes above [policy.benign_floor] are demoted to
+     undecided, so a deliberately small floor confines proofs to
+     provably-benign flips (see {!Ff_chisel.Propagate.benign_floor}).
+
+   Store keys fold {!policy_hash} — which includes {!version} — so
+   cached records and checkpoint journals never mix prover generations
+   or prove-on/off runs. *)
+
+let m_proved = Telemetry.counter "prover.classes_proved"
+let m_masked = Telemetry.counter "prover.classes_masked"
+let m_crash = Telemetry.counter "prover.classes_crash"
+let m_benign = Telemetry.counter "prover.classes_benign"
+let m_undecided = Telemetry.counter "prover.classes_undecided"
+let m_refused = Telemetry.counter "prover.sections_refused"
+let m_final_proved = Telemetry.counter "prover.final_proved"
+let m_final_undecided = Telemetry.counter "prover.final_undecided"
+
+let version = 1
+
+type policy = {
+  enabled : bool;
+  benign_floor : float;
+}
+
+let off = { enabled = false; benign_floor = infinity }
+let on = { enabled = true; benign_floor = infinity }
+
+(* FF_PROVE=off mirrors FF_ENGINE=boxed: the field escape hatch when
+   bisecting a suspected prover divergence. *)
+let default_policy =
+  match Sys.getenv_opt "FF_PROVE" with
+  | Some s when String.lowercase_ascii s = "off" -> off
+  | _ -> on
+
+let policy_hash p =
+  let h = Hashing.create () in
+  Hashing.add_int h version;
+  Hashing.add_int h (if p.enabled then 1 else 0);
+  Hashing.add_float h p.benign_floor;
+  Hashing.value h
+
+type section_prover = {
+  section : Golden.section_run;
+  policy : policy;
+  burst : int;
+  decoded : Decode.t;
+  code : Instr.t array;
+  soff : int array;       (* dyn -> offset of its source values in [svals] *)
+  svals : Value.t array;  (* flat golden source-operand values, per dyn *)
+  dvals : Value.t array;  (* golden destination value after each dyn *)
+  slot_idx : int array;   (* kernel buffer slot -> program buffer index *)
+  buf_len : int array;    (* per program buffer index (bound ones only) *)
+  mem_access : (int * int, int array) Hashtbl.t;
+      (* (buffer, element) -> ascending dyns of its golden Load/Stores *)
+  golden_exit : Value.t array array;
+  writable : bool array;  (* per program buffer index *)
+  writable_idx : int array;
+  exit_nonfinite : bool;  (* golden exit writables already non-finite *)
+  liveness : Liveness.t;
+  final_zero : (int * float) list;  (* converged replay's F_sdc payload *)
+}
+
+exception Invalid_recording
+
+type recording = {
+  r_soff : int array;
+  r_svals : Value.t array;
+  r_dvals : Value.t array;
+  r_slot_idx : int array;
+  r_buf_len : int array;
+  r_mem_access : (int * int, int array) Hashtbl.t;
+}
+
+(* Re-execute the section with the boxed semantics, recording the golden
+   value of every source operand (before) and destination (after) of
+   every dynamic instruction. The pc stream is checked against the
+   golden trace step by step and the final buffers against the golden
+   exit state, so a recording that diverges from the golden run in any
+   way aborts instead of licensing unsound proofs. *)
+let record (section : Golden.section_run) golden_exit =
+  let decoded = section.Golden.decoded in
+  let trace = section.Golden.trace in
+  let dyn_count = section.Golden.dyn_count in
+  let code = section.Golden.kernel.Kernel.code in
+  let soff = Array.make (dyn_count + 1) 0 in
+  for j = 0 to dyn_count - 1 do
+    soff.(j + 1) <- soff.(j) + Decode.nsrcs decoded trace.(j)
+  done;
+  let svals = Array.make (max 1 soff.(dyn_count)) (Value.Int 0L) in
+  let dvals = Array.make (max 1 dyn_count) (Value.Int 0L) in
+  let regs = Array.make decoded.Decode.nregs (Value.Int 0L) in
+  List.iteri (fun i v -> regs.(i) <- v) section.Golden.scalars;
+  (* One copy per distinct program buffer: slots bound to the same
+     buffer must alias, exactly as in Machine.exec. *)
+  let nprog = Array.length section.Golden.entry_state in
+  let state = Array.make nprog [||] in
+  let seen = Array.make nprog false in
+  Array.iter
+    (fun (idx, _) ->
+      if not seen.(idx) then begin
+        seen.(idx) <- true;
+        state.(idx) <- Array.copy section.Golden.entry_state.(idx)
+      end)
+    section.Golden.bindings;
+  let slot_idx = Array.map fst section.Golden.bindings in
+  let buffers = Array.map (fun idx -> state.(idx)) slot_idx in
+  (* Golden memory-access schedule: for each touched element, the dyns
+     of its Loads/Stores in order. The walk uses it to leap over clean
+     stretches once all register taint has died. *)
+  let accesses : (int * int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let note_access slot idx j =
+    let key = (slot_idx.(slot), Int64.to_int idx) in
+    match Hashtbl.find_opt accesses key with
+    | Some l -> l := j :: !l
+    | None -> Hashtbl.add accesses key (ref [ j ])
+  in
+  let load_slot slot idx =
+    let store = buffers.(slot) in
+    let i = Int64.to_int idx in
+    if idx < 0L || idx >= Int64.of_int (Array.length store) then raise Invalid_recording
+    else store.(i)
+  in
+  let store_slot slot idx v =
+    let store = buffers.(slot) in
+    let i = Int64.to_int idx in
+    if idx < 0L || idx >= Int64.of_int (Array.length store) then raise Invalid_recording
+    else store.(i) <- v
+  in
+  (try
+     let pc = ref 0 in
+     for j = 0 to dyn_count - 1 do
+       if !pc <> trace.(j) then raise Invalid_recording;
+       let instr = code.(!pc) in
+       let base = soff.(j) in
+       Array.iteri (fun k r -> svals.(base + k) <- regs.(r)) (Decode.srcs_at decoded !pc);
+       let next = ref (!pc + 1) in
+       (match instr with
+       | Instr.Mov (d, s) -> regs.(d) <- regs.(s)
+       | Instr.Iconst (d, v) -> regs.(d) <- Value.Int v
+       | Instr.Fconst (d, v) -> regs.(d) <- Value.Float v
+       | Instr.Ibin (op, d, a, b) ->
+         regs.(d) <-
+           Value.Int (Machine.eval_ibin op (Machine.as_int regs.(a)) (Machine.as_int regs.(b)))
+       | Instr.Fbin (op, d, a, b) ->
+         regs.(d) <-
+           Value.Float
+             (Machine.eval_fbin op (Machine.as_float regs.(a)) (Machine.as_float regs.(b)))
+       | Instr.Iun (op, d, a) -> regs.(d) <- Value.Int (Machine.eval_iun op (Machine.as_int regs.(a)))
+       | Instr.Fun1 (op, d, a) ->
+         regs.(d) <- Value.Float (Machine.eval_funop op (Machine.as_float regs.(a)))
+       | Instr.Icmp (c, d, a, b) ->
+         let v =
+           if Machine.eval_icmp c (Machine.as_int regs.(a)) (Machine.as_int regs.(b)) then 1L
+           else 0L
+         in
+         regs.(d) <- Value.Int v
+       | Instr.Fcmp (c, d, a, b) ->
+         let v =
+           if Machine.eval_fcmp c (Machine.as_float regs.(a)) (Machine.as_float regs.(b)) then 1L
+           else 0L
+         in
+         regs.(d) <- Value.Int v
+       | Instr.Cast (c, d, a) -> regs.(d) <- Machine.eval_cast c regs.(a)
+       | Instr.Select (d, c, a, b) ->
+         regs.(d) <- (if Machine.as_int regs.(c) <> 0L then regs.(a) else regs.(b))
+       | Instr.Load (d, slot, i) ->
+         let idx = Machine.as_int regs.(i) in
+         regs.(d) <- load_slot slot idx;
+         note_access slot idx j
+       | Instr.Store (slot, i, v) ->
+         let idx = Machine.as_int regs.(i) in
+         store_slot slot idx regs.(v);
+         note_access slot idx j
+       | Instr.Jmp l -> next := l
+       | Instr.Br (c, l1, l2) -> next := (if Machine.as_int regs.(c) <> 0L then l1 else l2)
+       | Instr.Halt -> if j <> dyn_count - 1 then raise Invalid_recording);
+       (match Instr.dst instr with Some d -> dvals.(j) <- regs.(d) | None -> ());
+       pc := !next
+     done
+   with Machine.Trap _ -> raise Invalid_recording);
+  (* Exit-state validation: every bound buffer must match the golden
+     exit bit for bit. *)
+  Array.iter
+    (fun (idx, _) ->
+      let a = state.(idx) and b = golden_exit.(idx) in
+      if Array.length a <> Array.length b then raise Invalid_recording;
+      Array.iteri
+        (fun e v -> if not (Value.equal v b.(e)) then raise Invalid_recording)
+        a)
+    section.Golden.bindings;
+  let buf_len = Array.make nprog 0 in
+  Array.iteri (fun idx buf -> if seen.(idx) then buf_len.(idx) <- Array.length buf) state;
+  let mem_access = Hashtbl.create (Hashtbl.length accesses) in
+  Hashtbl.iter
+    (fun key l -> Hashtbl.add mem_access key (Array.of_list (List.rev !l)))
+    accesses;
+  {
+    r_soff = soff;
+    r_svals = svals;
+    r_dvals = dvals;
+    r_slot_idx = slot_idx;
+    r_buf_len = buf_len;
+    r_mem_access = mem_access;
+  }
+
+(* Per-kernel liveness cache, keyed by physical identity of the decoded
+   form (Golden shares one [decoded] across every section calling the
+   same kernel) — the same lock-free capped-list idiom as
+   Workspace.plan_of: losing a CAS race merely recomputes a fixpoint. *)
+let liveness_cache : (Decode.t * Liveness.t) list Atomic.t = Atomic.make []
+let liveness_cache_cap = 16
+
+let rec cache_find decoded = function
+  | [] -> None
+  | (d, l) :: tl -> if d == decoded then Some l else cache_find decoded tl
+
+let rec liveness_of decoded =
+  match cache_find decoded (Atomic.get liveness_cache) with
+  | Some l -> l
+  | None -> (
+    let l = Liveness.of_decoded decoded in
+    let cur = Atomic.get liveness_cache in
+    match cache_find decoded cur with
+    | Some l -> l
+    | None ->
+      let kept =
+        if List.length cur >= liveness_cache_cap then
+          List.filteri (fun i _ -> i < liveness_cache_cap - 1) cur
+        else cur
+      in
+      if Atomic.compare_and_set liveness_cache cur ((decoded, l) :: kept) then l
+      else liveness_of decoded)
+
+(* Recording cache, keyed by physical identity of the section run: a
+   section is recorded once and then shared by the section pre-pass, the
+   final-outcome pre-pass, and any repeated campaign over the same
+   golden run. [None] caches a failed self-validation so an invalid
+   section is not re-executed on every attempt. Recordings are immutable
+   after construction, so sharing across domains is safe. *)
+let recording_cache : (Golden.section_run * recording option) list Atomic.t =
+  Atomic.make []
+
+let recording_cache_cap = 32
+
+let rec rcache_find section = function
+  | [] -> None
+  | (s, r) :: tl -> if s == section then Some r else rcache_find section tl
+
+let rec recording_of section golden_exit =
+  match rcache_find section (Atomic.get recording_cache) with
+  | Some r -> r
+  | None -> (
+    let r =
+      match record section golden_exit with
+      | r -> Some r
+      | exception Invalid_recording -> None
+    in
+    let cur = Atomic.get recording_cache in
+    match rcache_find section cur with
+    | Some r -> r
+    | None ->
+      let kept =
+        if List.length cur >= recording_cache_cap then
+          List.filteri (fun i _ -> i < recording_cache_cap - 1) cur
+        else cur
+      in
+      if Atomic.compare_and_set recording_cache cur ((section, r) :: kept) then r
+      else recording_of section golden_exit)
+
+let prepare golden ~section_index ~timeout_factor policy ~burst =
+  if not policy.enabled then None
+  else begin
+    let section = golden.Golden.sections.(section_index) in
+    let dyn_count = section.Golden.dyn_count in
+    if Replay.budget_of ~timeout_factor dyn_count < dyn_count then None
+    else begin
+      let plan = Workspace.plan_of golden in
+      let golden_exit = Golden.exit_state golden section_index in
+      let nprog = Array.length section.Golden.entry_state in
+      let writable = Array.make nprog false in
+      let writable_idx = plan.Workspace.writable_idx.(section_index) in
+      Array.iter (fun idx -> writable.(idx) <- true) writable_idx;
+      let exit_nonfinite =
+        Array.exists
+          (fun idx -> Array.exists (fun v -> not (Value.is_finite v)) golden_exit.(idx))
+          writable_idx
+      in
+      match recording_of section golden_exit with
+      | None ->
+        Telemetry.incr m_refused;
+        None
+      | Some r ->
+        Some
+          {
+            section;
+            policy;
+            burst;
+            decoded = section.Golden.decoded;
+            code = section.Golden.kernel.Kernel.code;
+            soff = r.r_soff;
+            svals = r.r_svals;
+            dvals = r.r_dvals;
+            slot_idx = r.r_slot_idx;
+            buf_len = r.r_buf_len;
+            mem_access = r.r_mem_access;
+            golden_exit;
+            writable;
+            writable_idx;
+            exit_nonfinite;
+            liveness = liveness_of section.Golden.decoded;
+            final_zero =
+              Program.output_buffers golden.Golden.program
+              |> List.map (fun (idx, _) -> (idx, 0.0));
+          }
+    end
+  end
+
+type walk =
+  | W_crash  (** the faulty run provably traps inside the section *)
+  | W_complete of (int * int, Value.t) Hashtbl.t
+      (** ran to Halt on the golden path; the table holds every memory
+          element whose faulty value differs from golden (bit-wise) *)
+  | W_undecided
+
+exception Divergent
+
+(* The exact single-fault walk. Taint values are always bit-different
+   from their golden counterparts; an instruction whose operands are all
+   clean recomputes the golden result, so only its destination taint is
+   killed and nothing is evaluated. *)
+let walk sp ~at_dyn ~operand ~bit =
+  let decoded = sp.decoded in
+  let trace = sp.section.Golden.trace in
+  let dyn_count = sp.section.Golden.dyn_count in
+  let rtaint = Array.make decoded.Decode.nregs None in
+  let mtaint : (int * int, Value.t) Hashtbl.t = Hashtbl.create 16 in
+  let rt_count = ref 0 in
+  let set_reg r v =
+    (match (rtaint.(r), v) with
+    | None, Some _ -> incr rt_count
+    | Some _, None -> decr rt_count
+    | _ -> ());
+    rtaint.(r) <- v
+  in
+  let set_mem key v =
+    match v with
+    | Some f -> Hashtbl.replace mtaint key f
+    | None -> Hashtbl.remove mtaint key
+  in
+  (* Smallest golden access of [key] at or after dyn [j] (max_int when
+     the rest of the schedule never touches it again). *)
+  let next_access key j =
+    match Hashtbl.find_opt sp.mem_access key with
+    | None -> max_int
+    | Some arr ->
+      let lo = ref 0 and hi = ref (Array.length arr) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if arr.(mid) < j then lo := mid + 1 else hi := mid
+      done;
+      if !lo < Array.length arr then arr.(!lo) else max_int
+  in
+  let flips = Machine.burst_bits ~bit ~burst:sp.burst in
+  let flip v = List.fold_left Value.flip_bit v flips in
+  (* Seed the taint. Osrc corrupts the register before the instruction
+     at [at_dyn] reads it; Odst corrupts the freshly-written destination
+     after it, so the walk resumes at the next dyn. *)
+  let start =
+    match operand with
+    | Site.Src k ->
+      let pc = trace.(at_dyn) in
+      let ss = Decode.srcs_at decoded pc in
+      if k < Array.length ss then begin
+        let g = sp.svals.(sp.soff.(at_dyn) + k) in
+        let f = flip g in
+        if not (Value.equal f g) then set_reg ss.(k) (Some f)
+      end;
+      at_dyn
+    | Site.Dst ->
+      let pc = trace.(at_dyn) in
+      let d = Decode.dst_at decoded pc in
+      if d >= 0 then begin
+        let g = sp.dvals.(at_dyn) in
+        let f = flip g in
+        if not (Value.equal f g) then set_reg d (Some f)
+      end;
+      at_dyn + 1
+  in
+  (* Static fast path: a destination flip into a register that is dead
+     after its pc is overwritten before any read on every path — no walk
+     needed, the fault is masked with no memory taint. *)
+  let statically_dead =
+    match operand with
+    | Site.Dst ->
+      !rt_count > 0
+      &&
+      let pc = trace.(at_dyn) in
+      let d = Decode.dst_at decoded pc in
+      not (Liveness.live_out sp.liveness ~pc ~reg:d)
+    | Site.Src _ -> false
+  in
+  if statically_dead then W_complete (Hashtbl.create 1)
+  else begin
+    try
+      let j = ref start in
+      let commit d jj v =
+        if Value.equal v sp.dvals.(jj) then set_reg d None else set_reg d (Some v)
+      in
+      (* One dynamic instruction. Operand registers come straight off the
+         instruction constructors (same order as [Instr.srcs], which is
+         what indexes [svals]); the common all-clean case touches only
+         [rtaint] and kills the destination without evaluating anything. *)
+      let step () =
+        let jj = !j in
+        let pc = trace.(jj) in
+        let base = sp.soff.(jj) in
+        (match sp.code.(pc) with
+        | Instr.Jmp _ | Instr.Halt -> ()
+        | Instr.Br (c, _, _) -> (
+          match rtaint.(c) with
+          | None -> ()
+          | Some fv ->
+            let f = Machine.as_int fv in
+            let g = Machine.as_int sp.svals.(base) in
+            if (f <> 0L) <> (g <> 0L) then raise Divergent)
+        | Instr.Store (slot, i, v) -> (
+          let bidx = sp.slot_idx.(slot) in
+          match rtaint.(i) with
+          | Some fv ->
+            let fidx = Machine.as_int fv in
+            if fidx < 0L || fidx >= Int64.of_int sp.buf_len.(bidx) then
+              raise (Machine.Trap Machine.Out_of_bounds)
+            else
+              (* in-bounds write through a corrupted address: the walk
+                 would have to know golden memory it never recorded *)
+              raise Divergent
+          | None ->
+            let idx = Int64.to_int (Machine.as_int sp.svals.(base)) in
+            set_mem (bidx, idx) rtaint.(v))
+        | Instr.Load (d, slot, i) -> (
+          let bidx = sp.slot_idx.(slot) in
+          match rtaint.(i) with
+          | Some fv ->
+            let fidx = Machine.as_int fv in
+            if fidx < 0L || fidx >= Int64.of_int sp.buf_len.(bidx) then
+              raise (Machine.Trap Machine.Out_of_bounds)
+            else raise Divergent
+          | None -> (
+            let idx = Int64.to_int (Machine.as_int sp.svals.(base)) in
+            match Hashtbl.find_opt mtaint (bidx, idx) with
+            | Some v -> commit d jj v
+            | None -> set_reg d None))
+        | Instr.Iconst (d, _) | Instr.Fconst (d, _) -> set_reg d None
+        | Instr.Mov (d, s) -> (
+          match rtaint.(s) with Some v -> commit d jj v | None -> set_reg d None)
+        | Instr.Ibin (op, d, a, b) -> (
+          match (rtaint.(a), rtaint.(b)) with
+          | None, None -> set_reg d None
+          | ta, tb ->
+            let va = match ta with Some v -> v | None -> sp.svals.(base) in
+            let vb = match tb with Some v -> v | None -> sp.svals.(base + 1) in
+            commit d jj (Value.Int (Machine.eval_ibin op (Machine.as_int va) (Machine.as_int vb))))
+        | Instr.Fbin (op, d, a, b) -> (
+          match (rtaint.(a), rtaint.(b)) with
+          | None, None -> set_reg d None
+          | ta, tb ->
+            let va = match ta with Some v -> v | None -> sp.svals.(base) in
+            let vb = match tb with Some v -> v | None -> sp.svals.(base + 1) in
+            commit d jj
+              (Value.Float (Machine.eval_fbin op (Machine.as_float va) (Machine.as_float vb))))
+        | Instr.Iun (op, d, a) -> (
+          match rtaint.(a) with
+          | None -> set_reg d None
+          | Some v -> commit d jj (Value.Int (Machine.eval_iun op (Machine.as_int v))))
+        | Instr.Fun1 (op, d, a) -> (
+          match rtaint.(a) with
+          | None -> set_reg d None
+          | Some v -> commit d jj (Value.Float (Machine.eval_funop op (Machine.as_float v))))
+        | Instr.Icmp (c, d, a, b) -> (
+          match (rtaint.(a), rtaint.(b)) with
+          | None, None -> set_reg d None
+          | ta, tb ->
+            let va = match ta with Some v -> v | None -> sp.svals.(base) in
+            let vb = match tb with Some v -> v | None -> sp.svals.(base + 1) in
+            commit d jj
+              (Value.Int
+                 (if Machine.eval_icmp c (Machine.as_int va) (Machine.as_int vb) then 1L else 0L)))
+        | Instr.Fcmp (c, d, a, b) -> (
+          match (rtaint.(a), rtaint.(b)) with
+          | None, None -> set_reg d None
+          | ta, tb ->
+            let va = match ta with Some v -> v | None -> sp.svals.(base) in
+            let vb = match tb with Some v -> v | None -> sp.svals.(base + 1) in
+            commit d jj
+              (Value.Int
+                 (if Machine.eval_fcmp c (Machine.as_float va) (Machine.as_float vb) then 1L
+                  else 0L)))
+        | Instr.Cast (c, d, a) -> (
+          match rtaint.(a) with
+          | None -> set_reg d None
+          | Some v -> commit d jj (Machine.eval_cast c v))
+        | Instr.Select (d, c, a, b) -> (
+          match (rtaint.(c), rtaint.(a), rtaint.(b)) with
+          | None, None, None -> set_reg d None
+          | tc, ta, tb ->
+            let vc = match tc with Some v -> v | None -> sp.svals.(base) in
+            let va = match ta with Some v -> v | None -> sp.svals.(base + 1) in
+            let vb = match tb with Some v -> v | None -> sp.svals.(base + 2) in
+            commit d jj (if Machine.as_int vc <> 0L then va else vb)));
+        incr j
+      in
+      let finished = ref false in
+      while (not !finished) && !j < dyn_count do
+        if !rt_count > 0 then step ()
+        else if Hashtbl.length mtaint = 0 then finished := true
+        else begin
+          (* All register taint is dead, so execution tracks the golden
+             path exactly until it next touches a tainted element: clean
+             stores to clean elements rewrite golden values and clean
+             loads of clean elements recompute golden registers. Leap
+             straight to that access instead of stepping through the
+             clean stretch. *)
+          let nxt = ref max_int in
+          Hashtbl.iter
+            (fun key _ ->
+              let a = next_access key !j in
+              if a < !nxt then nxt := a)
+            mtaint;
+          if !nxt >= dyn_count then j := dyn_count
+          else begin
+            j := !nxt;
+            step ()
+          end
+        end
+      done;
+      W_complete mtaint
+    with
+    | Machine.Trap _ -> W_crash
+    | Divergent -> W_undecided
+  end
+
+(* Map a completed walk's memory taint to the exact section outcome a
+   replay would report: per-writable-buffer max |Δ| in the plan's
+   writable order, Misformatted and side-effect cases declined. *)
+let section_outcome_of_mem sp mem =
+  if sp.exit_nonfinite then None
+  else begin
+    let nonfinite = ref false in
+    let side_effect = ref false in
+    let mags = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun (bidx, e) v ->
+        let d = Value.abs_diff sp.golden_exit.(bidx).(e) v in
+        if sp.writable.(bidx) then begin
+          if not (Value.is_finite v) then nonfinite := true;
+          let cur = match Hashtbl.find_opt mags bidx with Some m -> m | None -> 0.0 in
+          if d > cur then Hashtbl.replace mags bidx d
+        end
+        else if d > 0.0 then side_effect := true)
+      mem;
+    if !nonfinite || !side_effect then None
+    else begin
+      let sdc =
+        Array.map
+          (fun idx ->
+            (idx, match Hashtbl.find_opt mags idx with Some m -> m | None -> 0.0))
+          sp.writable_idx
+      in
+      let worst = Array.fold_left (fun acc (_, m) -> Float.max acc m) 0.0 sdc in
+      if worst > sp.policy.benign_floor then None else Some (Outcome.S_sdc sdc)
+    end
+  end
+
+let prove_class sp (cls : Eqclass.t) =
+  let pilot = cls.Eqclass.pilot in
+  if
+    pilot.Site.section <> sp.section.Golden.section_index
+    || pilot.Site.dyn < 0
+    || pilot.Site.dyn >= sp.section.Golden.dyn_count
+  then None
+  else
+    match walk sp ~at_dyn:pilot.Site.dyn ~operand:pilot.Site.operand ~bit:pilot.Site.bit with
+    | W_crash -> Some (Outcome.S_detected Outcome.Crash)
+    | W_undecided -> None
+    | W_complete mem -> section_outcome_of_mem sp mem
+
+let prove_final_class sp (cls : Eqclass.t) =
+  let pilot = cls.Eqclass.pilot in
+  if
+    pilot.Site.section <> sp.section.Golden.section_index
+    || pilot.Site.dyn < 0
+    || pilot.Site.dyn >= sp.section.Golden.dyn_count
+  then None
+  else
+    match walk sp ~at_dyn:pilot.Site.dyn ~operand:pilot.Site.operand ~bit:pilot.Site.bit with
+    | W_crash -> Some (Outcome.F_detected Outcome.Crash)
+    | W_complete mem when Hashtbl.length mem = 0 ->
+      (* No memory taint at the section boundary and registers do not
+         carry across sections: the replay converges with the golden
+         state right there, which run_to_end reports as all-zero final
+         SDC over the program outputs. *)
+      Some (Outcome.F_sdc sp.final_zero)
+    | W_complete _ | W_undecided -> None
+
+let tally_proof = function
+  | Outcome.S_detected _ -> Telemetry.incr m_crash
+  | Outcome.S_sdc _ as o ->
+    if Outcome.section_is_masked o then Telemetry.incr m_masked else Telemetry.incr m_benign
+
+let prove_section golden ~section_index ~timeout_factor ~burst policy classes =
+  if not policy.enabled then Array.map (fun _ -> None) classes
+  else
+    match prepare golden ~section_index ~timeout_factor policy ~burst with
+    | None ->
+      Telemetry.add m_undecided (Array.length classes);
+      Array.map (fun _ -> None) classes
+    | Some sp ->
+      Array.map
+        (fun cls ->
+          match prove_class sp cls with
+          | Some o ->
+            Telemetry.incr m_proved;
+            tally_proof o;
+            Some o
+          | None ->
+            Telemetry.incr m_undecided;
+            None)
+        classes
+
+let prove_final golden ~section_index ~timeout_factor ~burst policy classes =
+  if not policy.enabled then Array.map (fun _ -> None) classes
+  else
+    match prepare golden ~section_index ~timeout_factor policy ~burst with
+    | None ->
+      Telemetry.add m_final_undecided (Array.length classes);
+      Array.map (fun _ -> None) classes
+    | Some sp ->
+      Array.map
+        (fun cls ->
+          match prove_final_class sp cls with
+          | Some o ->
+            Telemetry.incr m_final_proved;
+            Some o
+          | None ->
+            Telemetry.incr m_final_undecided;
+            None)
+        classes

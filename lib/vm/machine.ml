@@ -92,6 +92,11 @@ let eval_funop op a =
   | Instr.FFfloor -> Float.floor a
   | Instr.FFceil -> Float.ceil a
 
+let eval_iun op a =
+  match op with
+  | Instr.Ineg -> Int64.neg a
+  | Instr.Inot -> Int64.lognot a
+
 let eval_icmp c a b =
   let r = Int64.compare a b in
   match c with
@@ -111,6 +116,17 @@ let eval_fcmp c a b =
   | Instr.Cle -> a <= b
   | Instr.Cgt -> a > b
   | Instr.Cge -> a >= b
+
+let eval_cast c v =
+  match c with
+  | Instr.Itof -> Value.Float (Int64.to_float (as_int v))
+  | Instr.Ftoi ->
+    let x = as_float v in
+    if Float.is_nan x || x >= int64_max_float || x < -.int64_max_float then
+      trap Invalid_conversion
+    else Value.Int (Int64.of_float x)
+  | Instr.Fbits -> Value.Int (Int64.bits_of_float (as_float v))
+  | Instr.Bitsf -> Value.Float (Int64.float_of_bits (as_int v))
 
 let burst_bits ~bit ~burst = List.init (max 1 burst) (fun i -> (bit + i) mod 64)
 
@@ -217,10 +233,7 @@ let exec (kernel : Kernel.t) ~scalars ~buffers ~budget ?decoded ?injection ?(bur
             regs.(d) <- Value.Int (eval_ibin op (as_int regs.(a)) (as_int regs.(b)))
           | Instr.Fbin (op, d, a, b) ->
             regs.(d) <- Value.Float (eval_fbin op (as_float regs.(a)) (as_float regs.(b)))
-          | Instr.Iun (op, d, a) ->
-            let x = as_int regs.(a) in
-            let v = match op with Instr.Ineg -> Int64.neg x | Instr.Inot -> Int64.lognot x in
-            regs.(d) <- Value.Int v
+          | Instr.Iun (op, d, a) -> regs.(d) <- Value.Int (eval_iun op (as_int regs.(a)))
           | Instr.Fun1 (op, d, a) -> regs.(d) <- Value.Float (eval_funop op (as_float regs.(a)))
           | Instr.Icmp (c, d, a, b) ->
             let v = if eval_icmp c (as_int regs.(a)) (as_int regs.(b)) then 1L else 0L in
@@ -228,19 +241,7 @@ let exec (kernel : Kernel.t) ~scalars ~buffers ~budget ?decoded ?injection ?(bur
           | Instr.Fcmp (c, d, a, b) ->
             let v = if eval_fcmp c (as_float regs.(a)) (as_float regs.(b)) then 1L else 0L in
             regs.(d) <- Value.Int v
-          | Instr.Cast (c, d, a) ->
-            let v =
-              match c with
-              | Instr.Itof -> Value.Float (Int64.to_float (as_int regs.(a)))
-              | Instr.Ftoi ->
-                let x = as_float regs.(a) in
-                if Float.is_nan x || x >= int64_max_float || x < -.int64_max_float then
-                  trap Invalid_conversion
-                else Value.Int (Int64.of_float x)
-              | Instr.Fbits -> Value.Int (Int64.bits_of_float (as_float regs.(a)))
-              | Instr.Bitsf -> Value.Float (Int64.float_of_bits (as_int regs.(a)))
-            in
-            regs.(d) <- v
+          | Instr.Cast (c, d, a) -> regs.(d) <- eval_cast c regs.(a)
           | Instr.Select (d, c, a, b) ->
             regs.(d) <- (if as_int regs.(c) <> 0L then regs.(a) else regs.(b))
           | Instr.Load (d, slot, i) -> regs.(d) <- load_slot slot (as_int regs.(i))

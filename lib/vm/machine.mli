@@ -39,6 +39,41 @@ type injection = {
   bit : int;      (** 0..63 *)
 }
 
+(** {2 Shared evaluation semantics}
+
+    The per-operation evaluators of the reference interpreter, exposed so
+    other execution layers (the static outcome prover in [lib/inject])
+    evaluate individual instructions with {e exactly} the semantics of a
+    replay — including the trap conditions — instead of re-implementing
+    them. They raise {!Trap} on the same conditions [exec] turns into a
+    [Trapped] status. *)
+
+exception Trap of trap
+
+val as_int : Ff_ir.Value.t -> int64
+(** Raises [Trap Type_confusion] on a float. *)
+
+val as_float : Ff_ir.Value.t -> float
+(** Raises [Trap Type_confusion] on an integer. *)
+
+val eval_ibin : Ff_ir.Instr.ibinop -> int64 -> int64 -> int64
+(** Raises [Trap Div_by_zero] exactly when [exec] would. *)
+
+val eval_fbin : Ff_ir.Instr.fbinop -> float -> float -> float
+
+val eval_iun : Ff_ir.Instr.iunop -> int64 -> int64
+
+val eval_funop : Ff_ir.Instr.funop -> float -> float
+
+val eval_icmp : Ff_ir.Instr.cmp -> int64 -> int64 -> bool
+
+val eval_fcmp : Ff_ir.Instr.cmp -> float -> float -> bool
+
+val eval_cast : Ff_ir.Instr.cast -> Ff_ir.Value.t -> Ff_ir.Value.t
+(** Raises [Trap Invalid_conversion] on float-to-int of NaN or
+    out-of-range values, [Trap Type_confusion] on a wrongly-typed
+    operand — the same guards as [exec]. *)
+
 val burst_bits : bit:int -> burst:int -> int list
 (** The bits a burst of width [burst] starting at [bit] flips:
     [bit, bit+1, ...] wrapping modulo 64. Width 1 is the paper's

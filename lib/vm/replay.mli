@@ -28,6 +28,12 @@ val default_engine : engine
     produce bit-identical classifications, so the choice never changes
     results — only speed. *)
 
+val budget_of : timeout_factor:float -> int -> int
+(** The dynamic-instruction budget a replay grants a section whose golden
+    run executed [dyn_count] instructions: [timeout_factor ×] that count
+    (floor 16). Exposed so the static outcome prover reasons about the
+    exact budget the replay it stands in for would have used. *)
+
 val buffer_distance :
   ?stop_at:float -> Ff_ir.Value.t array -> Ff_ir.Value.t array -> float
 (** [buffer_distance golden actual] is the largest element-wise |Δ|

@@ -345,8 +345,14 @@ let test_replay_parity () =
     g.Golden.sections;
   Alcotest.(check bool) "swept a real grid" true (!checked >= 100)
 
+(* Prover off so every class actually exercises the engines under test. *)
 let campaign_config =
-  { Campaign.bits = Site.Bit_list [ 0; 21; 42; 63 ]; timeout_factor = 5.0; burst = 1 }
+  {
+    Campaign.bits = Site.Bit_list [ 0; 21; 42; 63 ];
+    timeout_factor = 5.0;
+    burst = 1;
+    prove = Prover.off;
+  }
 
 let test_campaign_parity_across_pools () =
   let g = Golden.run (compile pipeline_src) in

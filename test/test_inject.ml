@@ -208,7 +208,15 @@ let test_outcome_of_replays () =
 
 (* --- campaigns ------------------------------------------------------------------ *)
 
-let config = { Campaign.bits = Site.Bit_list [ 0; 31; 63 ]; timeout_factor = 5.0; burst = 1 }
+(* Prover off: these tests assert the replay-side accounting (one
+   injection per class); test_prover.ml covers the prover pre-pass. *)
+let config =
+  {
+    Campaign.bits = Site.Bit_list [ 0; 31; 63 ];
+    timeout_factor = 5.0;
+    burst = 1;
+    prove = Prover.off;
+  }
 
 let test_section_campaign_accounting () =
   let g = golden pipeline_src in

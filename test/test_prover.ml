@@ -1,0 +1,564 @@
+(* Differential tests for the static outcome prover.
+
+   The contract under test: the prover may abstain on any class, but
+   every outcome it does claim must equal — bit for bit — what the
+   replay oracle reports for that class's pilot. Random programs sweep
+   the claim broadly; the targeted unit tests pin each proof rule
+   (dead/overwritten destination, trap-only consumer, exact benign SDC
+   below the floor) to a hand-built kernel where the expected outcome is
+   known in closed form. Campaign-level tests then check that the
+   prover pre-pass changes only the work accounting, never the results,
+   at pool widths 1 and 4, and that checkpoint journals skip proved
+   classes. *)
+
+open Ff_ir
+open Ff_vm
+module Frontend = Ff_lang.Frontend
+module Pool = Ff_support.Pool
+module Pipeline = Fastflip.Pipeline
+open Ff_inject
+
+let compile src =
+  match Frontend.compile src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "compile: %s" (Format.asprintf "%a" Frontend.pp_error e)
+
+(* --- random program generators (same shape as test_engine.ml) ------------- *)
+
+let nregs = 6
+let nbufs = 2 (* slot 0: float, slot 1: int *)
+
+let all_ibinops =
+  [
+    Instr.Iadd; Instr.Isub; Instr.Imul; Instr.Idiv; Instr.Irem; Instr.Iand; Instr.Ior;
+    Instr.Ixor; Instr.Ishl; Instr.Ilshr; Instr.Iashr; Instr.Irotl; Instr.Irotr;
+    Instr.Imin; Instr.Imax;
+  ]
+
+let all_fbinops =
+  [ Instr.Fadd; Instr.Fsub; Instr.Fmul; Instr.Fdiv; Instr.Fmin; Instr.Fmax; Instr.Fpow ]
+
+let all_funops =
+  [
+    Instr.FFneg; Instr.FFabs; Instr.FFsqrt; Instr.FFexp; Instr.FFlog; Instr.FFsin;
+    Instr.FFcos; Instr.FFfloor; Instr.FFceil;
+  ]
+
+let all_cmps = [ Instr.Ceq; Instr.Cne; Instr.Clt; Instr.Cle; Instr.Cgt; Instr.Cge ]
+let all_casts = [ Instr.Itof; Instr.Ftoi; Instr.Fbits; Instr.Bitsf ]
+
+let gen_int64 =
+  QCheck2.Gen.(
+    oneof
+      [
+        map Int64.of_int (int_range (-4) 8);
+        map Int64.of_int int;
+        oneofl [ Int64.min_int; Int64.max_int; 0L; -1L; 0x7ff0000000000000L ];
+      ])
+
+let gen_float =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun v -> float_of_int v *. 0.37) (int_range (-50) 50);
+        oneofl [ 0.0; -0.0; Float.nan; Float.infinity; Float.neg_infinity; 1e308; -2.5 ];
+      ])
+
+let gen_instr ~ninstrs =
+  QCheck2.Gen.(
+    let reg = int_range 0 (nregs - 1) in
+    let label = int_range 0 ninstrs in
+    let slot = int_range 0 (nbufs - 1) in
+    oneof
+      [
+        map2 (fun d v -> Instr.Iconst (d, v)) reg gen_int64;
+        map2 (fun d v -> Instr.Fconst (d, v)) reg gen_float;
+        map2 (fun d s -> Instr.Mov (d, s)) reg reg;
+        map3 (fun op (d, a) b -> Instr.Ibin (op, d, a, b)) (oneofl all_ibinops)
+          (pair reg reg) reg;
+        map3 (fun op (d, a) b -> Instr.Fbin (op, d, a, b)) (oneofl all_fbinops)
+          (pair reg reg) reg;
+        map3 (fun op d a -> Instr.Iun (op, d, a)) (oneofl [ Instr.Ineg; Instr.Inot ]) reg reg;
+        map3 (fun op d a -> Instr.Fun1 (op, d, a)) (oneofl all_funops) reg reg;
+        map3 (fun c (d, a) b -> Instr.Icmp (c, d, a, b)) (oneofl all_cmps) (pair reg reg)
+          reg;
+        map3 (fun c (d, a) b -> Instr.Fcmp (c, d, a, b)) (oneofl all_cmps) (pair reg reg)
+          reg;
+        map3 (fun c d a -> Instr.Cast (c, d, a)) (oneofl all_casts) reg reg;
+        map3 (fun (d, c) a b -> Instr.Select (d, c, a, b)) (pair reg reg) reg reg;
+        map3 (fun d s i -> Instr.Load (d, s, i)) reg slot reg;
+        map3 (fun s i v -> Instr.Store (s, i, v)) slot reg reg;
+        map (fun l -> Instr.Jmp l) label;
+        map3 (fun c l1 l2 -> Instr.Br (c, l1, l2)) reg label label;
+      ])
+
+let gen_kernel =
+  QCheck2.Gen.(
+    int_range 1 24 >>= fun ninstrs ->
+    list_repeat ninstrs (gen_instr ~ninstrs) >|= fun body ->
+    {
+      Kernel.name = "randk";
+      params =
+        [
+          Kernel.Scalar ("n", Value.TInt);
+          Kernel.Scalar ("x", Value.TFloat);
+          Kernel.Buffer ("fb", Value.TFloat, Kernel.InOut);
+          Kernel.Buffer ("ib", Value.TInt, Kernel.InOut);
+        ];
+      code = Array.of_list (body @ [ Instr.Halt ]);
+      nregs;
+    })
+
+(* A whole random program: one or two random kernels over a shared pair
+   of buffers (both program outputs), so prove_final has real final SDC
+   to reason about and two-call schedules exercise cross-section
+   convergence. *)
+let gen_program =
+  QCheck2.Gen.(
+    let fbuf = list_size (int_range 1 4) (map (fun x -> Value.Float x) gen_float) in
+    let ibuf = list_size (int_range 1 4) (map (fun w -> Value.Int w) gen_int64) in
+    map3
+      (fun (k0, k1) (n, x) ((fb, ib), ncalls) ->
+        let fb = Array.of_list fb and ib = Array.of_list ib in
+        let buffer name ty init is_output =
+          {
+            Program.buf_name = name;
+            buf_ty = ty;
+            buf_size = Array.length init;
+            buf_init = init;
+            buf_is_output = is_output;
+          }
+        in
+        let call name =
+          {
+            Program.callee = name;
+            args = [ Program.Aint n; Program.Afloat x; Program.Abuf 0; Program.Abuf 1 ];
+            call_label = name;
+          }
+        in
+        {
+          Program.kernels =
+            [ { k0 with Kernel.name = "k0" }; { k1 with Kernel.name = "k1" } ];
+          buffers = [ buffer "fb" Value.TFloat fb true; buffer "ib" Value.TInt ib true ];
+          schedule = (if ncalls = 1 then [ call "k0" ] else [ call "k0"; call "k1" ]);
+        })
+      (pair gen_kernel gen_kernel)
+      (pair gen_int64 gen_float)
+      (pair (pair fbuf ibuf) (int_range 1 2)))
+
+(* --- the differential property --------------------------------------------- *)
+
+let prover_bits = Site.Bit_list [ 0; 21; 40; 51; 62; 63 ]
+
+let check_proofs_against_oracle ?(burst = 1) g =
+  Array.iter
+    (fun (section : Golden.section_run) ->
+      let si = section.Golden.section_index in
+      let classes = Array.of_list (Eqclass.for_section section prover_bits) in
+      let proofs =
+        Prover.prove_section g ~section_index:si ~timeout_factor:5.0 ~burst Prover.on
+          classes
+      in
+      Array.iteri
+        (fun i proof ->
+          match proof with
+          | None -> ()
+          | Some claimed ->
+            let injection = Site.machine_injection classes.(i).Eqclass.pilot in
+            let replay =
+              Replay.run_section ~burst ~engine:Replay.Boxed g section injection
+                ~timeout_factor:5.0
+            in
+            let oracle = Outcome.of_section_replay replay in
+            if Stdlib.compare claimed oracle <> 0 then
+              QCheck2.Test.fail_reportf
+                "section proof diverged (section %d, %a): proved %a, replay %a" si
+                Site.pp classes.(i).Eqclass.pilot Outcome.pp_section claimed
+                Outcome.pp_section oracle)
+        proofs;
+      let fproofs =
+        Prover.prove_final g ~section_index:si ~timeout_factor:5.0 ~burst Prover.on
+          classes
+      in
+      Array.iteri
+        (fun i proof ->
+          match proof with
+          | None -> ()
+          | Some claimed ->
+            let injection = Site.machine_injection classes.(i).Eqclass.pilot in
+            let replay =
+              Replay.run_to_end ~burst ~engine:Replay.Boxed g ~from_section:si injection
+                ~timeout_factor:5.0
+            in
+            let oracle = Outcome.of_program_replay replay in
+            if Stdlib.compare claimed oracle <> 0 then
+              QCheck2.Test.fail_reportf
+                "final proof diverged (section %d, %a): proved %a, replay %a" si
+                Site.pp classes.(i).Eqclass.pilot Outcome.pp_final claimed
+                Outcome.pp_final oracle)
+        fproofs)
+    g.Golden.sections
+
+let prop_prover_vs_replay =
+  QCheck2.Test.make ~count:150
+    ~name:"prover decisions ≡ replay on random programs"
+    QCheck2.Gen.(pair gen_program (oneofl [ 1; 2 ]))
+    (fun (program, burst) ->
+      match Program.validate program with
+      | Error _ -> true
+      | Ok () -> (
+        (* Most random kernels trap or spin in their golden run; those
+           are not analyzable programs, so skip them. *)
+        match Golden.run ~budget_per_section:512 program with
+        | exception _ -> true
+        | g ->
+          check_proofs_against_oracle ~burst g;
+          true))
+
+(* --- fixed pipelines: the prover must actually prune ------------------------ *)
+
+let pipeline_src =
+  {|buffer a : float[3] = { 1.0, 2.0, -0.5 };
+buffer mid : float[3] = zeros;
+output buffer res : float[3] = zeros;
+kernel double(in a: float[], out mid: float[]) {
+  for i in 0..3 { mid[i] = a[i] * 2.0; }
+}
+kernel inc(in mid: float[], out res: float[]) {
+  for i in 0..3 { res[i] = mid[i] + 1.0; }
+}
+schedule {
+  call double(a, mid);
+  call inc(mid, res);
+}|}
+
+let test_fixed_pipeline_differential () =
+  let g = Golden.run (compile pipeline_src) in
+  check_proofs_against_oracle g;
+  check_proofs_against_oracle ~burst:2 g;
+  (* The broad claim is vacuous if the prover abstains on everything. *)
+  let proved = ref 0 in
+  Array.iter
+    (fun (section : Golden.section_run) ->
+      let classes = Array.of_list (Eqclass.for_section section prover_bits) in
+      let proofs =
+        Prover.prove_section g ~section_index:section.Golden.section_index
+          ~timeout_factor:5.0 ~burst:1 Prover.on classes
+      in
+      Array.iter (function Some _ -> incr proved | None -> ()) proofs)
+    g.Golden.sections;
+  Alcotest.(check bool) "prover proves a real fraction" true (!proved > 0)
+
+(* --- targeted unit kernels -------------------------------------------------- *)
+
+(* Straight-line kernel with a dead store, an address register feeding
+   only loads, and exactly-known float dataflow:
+     0: r1 <- 1.0        dead: overwritten at 1 before any read
+     1: r1 <- 2.0
+     2: r0 <- 0
+     3: r2 <- a[r0]      (1.5)
+     4: r3 <- r2 + r1    (3.5)
+     5: o[r0] <- r3
+     6: r0 <- 1
+     7: r2 <- a[r0]      (2.5)
+     8: r3 <- r2 + r1    (4.5)
+     9: o[r0] <- r3
+    10: halt *)
+let unit_kernel =
+  {
+    Kernel.name = "k";
+    params =
+      [
+        Kernel.Buffer ("a", Value.TFloat, Kernel.In);
+        Kernel.Buffer ("o", Value.TFloat, Kernel.Out);
+      ];
+    code =
+      [|
+        Instr.Fconst (1, 1.0);
+        Instr.Fconst (1, 2.0);
+        Instr.Iconst (0, 0L);
+        Instr.Load (2, 0, 0);
+        Instr.Fbin (Instr.Fadd, 3, 2, 1);
+        Instr.Store (1, 0, 3);
+        Instr.Iconst (0, 1L);
+        Instr.Load (2, 0, 0);
+        Instr.Fbin (Instr.Fadd, 3, 2, 1);
+        Instr.Store (1, 0, 3);
+        Instr.Halt;
+      |];
+    nregs = 4;
+  }
+
+let unit_program =
+  {
+    Program.kernels = [ unit_kernel ];
+    buffers =
+      [
+        {
+          Program.buf_name = "a";
+          buf_ty = Value.TFloat;
+          buf_size = 2;
+          buf_init = [| Value.Float 1.5; Value.Float 2.5 |];
+          buf_is_output = false;
+        };
+        {
+          Program.buf_name = "o";
+          buf_ty = Value.TFloat;
+          buf_size = 2;
+          buf_init = [| Value.Float 0.0; Value.Float 0.0 |];
+          buf_is_output = true;
+        };
+      ];
+    schedule =
+      [ { Program.callee = "k"; args = [ Program.Abuf 0; Program.Abuf 1 ]; call_label = "k" } ];
+  }
+
+let unit_golden = lazy (Golden.run unit_program)
+
+(* Prove the section's classes under [policy] and look up the proof of
+   one specific (instr, operand, bit) site, together with its replay
+   oracle. *)
+let prove_site ?(policy = Prover.on) ~instr ~operand ~bit () =
+  let g = Lazy.force unit_golden in
+  let section = g.Golden.sections.(0) in
+  let classes = Array.of_list (Eqclass.for_section section (Site.Bit_list [ bit ])) in
+  let proofs =
+    Prover.prove_section g ~section_index:0 ~timeout_factor:5.0 ~burst:1 policy classes
+  in
+  let fproofs =
+    Prover.prove_final g ~section_index:0 ~timeout_factor:5.0 ~burst:1 policy classes
+  in
+  let found = ref None in
+  Array.iteri
+    (fun i (cls : Eqclass.t) ->
+      if cls.Eqclass.pc.Site.instr = instr && cls.Eqclass.operand = operand then begin
+        let injection = Site.machine_injection cls.Eqclass.pilot in
+        let replay =
+          Replay.run_section ~burst:1 ~engine:Replay.Boxed g section injection
+            ~timeout_factor:5.0
+        in
+        let freplay =
+          Replay.run_to_end ~burst:1 ~engine:Replay.Boxed g ~from_section:0 injection
+            ~timeout_factor:5.0
+        in
+        found :=
+          Some
+            ( proofs.(i),
+              Outcome.of_section_replay replay,
+              fproofs.(i),
+              Outcome.of_program_replay freplay )
+      end)
+    classes;
+  match !found with
+  | Some r -> r
+  | None -> Alcotest.failf "no class at instr %d" instr
+
+let check_agrees name proof oracle =
+  match proof with
+  | None -> Alcotest.failf "%s: expected a proof, prover abstained" name
+  | Some o ->
+    if Stdlib.compare o oracle <> 0 then
+      Alcotest.failf "%s: proof %s but replay %s" name
+        (Format.asprintf "%a" Outcome.pp_section o)
+        (Format.asprintf "%a" Outcome.pp_section oracle)
+
+let test_dead_dst_is_masked () =
+  (* pc 0's destination is overwritten at pc 1 before any read: every
+     destination flip there is provably masked, statically. *)
+  let proof, oracle, fproof, foracle = prove_site ~instr:0 ~operand:Site.Dst ~bit:62 () in
+  check_agrees "dead dst" proof oracle;
+  (match proof with
+  | Some (Outcome.S_sdc sdc) ->
+    Alcotest.(check bool) "masked: all-zero section SDC" true
+      (Array.for_all (fun (_, m) -> m = 0.0) sdc)
+  | _ -> Alcotest.fail "dead dst: expected an S_sdc proof");
+  (* Masked in the section means converged at the section boundary:
+     run_to_end reports all-zero final SDC and so does the prover. *)
+  match (fproof, foracle) with
+  | Some (Outcome.F_sdc f), o when Stdlib.compare (Outcome.F_sdc f) o = 0 ->
+    Alcotest.(check bool) "final: all-zero SDC" true (List.for_all (fun (_, m) -> m = 0.0) f)
+  | _ -> Alcotest.fail "dead dst: expected a converged final proof"
+
+let test_trap_only_consumer_is_crash () =
+  (* Flipping bit 40 of the index register read by the load at pc 3
+     (golden value 0) sends the only consumer of that flip out of
+     bounds: a proved Crash, in the section and end to end. *)
+  let proof, oracle, fproof, foracle =
+    prove_site ~instr:3 ~operand:(Site.Src 0) ~bit:40 ()
+  in
+  check_agrees "trap-only consumer" proof oracle;
+  (match proof with
+  | Some (Outcome.S_detected Outcome.Crash) -> ()
+  | _ -> Alcotest.fail "expected a Crash proof");
+  match (fproof, foracle) with
+  | Some (Outcome.F_detected Outcome.Crash), Outcome.F_detected Outcome.Crash -> ()
+  | _ -> Alcotest.fail "expected a final Crash proof"
+
+let test_overwritten_register_flip_exact () =
+  (* pc 1's destination (r1 = 2.0) feeds both adds: flipping mantissa
+     bit 51 turns it into 3.0, shifting both outputs by exactly 1.0. *)
+  let proof, oracle, _, _ = prove_site ~instr:1 ~operand:Site.Dst ~bit:51 () in
+  check_agrees "live dst flip" proof oracle;
+  match proof with
+  | Some (Outcome.S_sdc sdc) ->
+    Alcotest.(check bool) "exact magnitude 1.0" true
+      (Array.exists (fun (_, m) -> m = 1.0) sdc)
+  | _ -> Alcotest.fail "expected an exact SDC proof"
+
+let test_benign_floor_gates_proofs () =
+  (* Same flip as above (exact SDC 1.0). A floor of 1.0 admits the
+     proof; a floor of 0.5 must demote it to undecided — never to a
+     different claim. *)
+  let admit = { Prover.enabled = true; benign_floor = 1.0 } in
+  let demote = { Prover.enabled = true; benign_floor = 0.5 } in
+  let proof, oracle, _, _ = prove_site ~policy:admit ~instr:1 ~operand:Site.Dst ~bit:51 () in
+  check_agrees "below the floor" proof oracle;
+  let proof, _, _, _ = prove_site ~policy:demote ~instr:1 ~operand:Site.Dst ~bit:51 () in
+  Alcotest.(check bool) "above the floor: abstains" true (proof = None)
+
+(* --- the chisel-derived floor ---------------------------------------------- *)
+
+let test_affine_interval_bound () =
+  let v = { Ff_chisel.Affine.section = 0; buffer = 1 } in
+  let w = { Ff_chisel.Affine.section = 0; buffer = 2 } in
+  let e =
+    Ff_chisel.Affine.add
+      (Ff_chisel.Affine.scale 3.0 (Ff_chisel.Affine.var v))
+      (Ff_chisel.Affine.scale 0.5 (Ff_chisel.Affine.var w))
+  in
+  Alcotest.(check (float 1e-9)) "sum_coeffs" 3.5 (Ff_chisel.Affine.sum_coeffs e);
+  Alcotest.(check (float 1e-9)) "max_coeff" 3.0 (Ff_chisel.Affine.max_coeff e);
+  Alcotest.(check (float 1e-9)) "sup over [0,phi]" 7.0 (Ff_chisel.Affine.sup e ~phi:2.0);
+  Alcotest.(check (float 1e-9)) "sup at phi=0" 0.0 (Ff_chisel.Affine.sup e ~phi:0.0);
+  Alcotest.(check (float 1e-9)) "zero sums to 0" 0.0
+    (Ff_chisel.Affine.sum_coeffs Ff_chisel.Affine.zero)
+
+let test_propagate_benign_floor () =
+  (* The principled floor: epsilon divided by the section's summed
+     sensitivity toward the output. Linear in epsilon, positive for a
+     section that reaches the output. *)
+  let analysis = Pipeline.analyze Pipeline.default_config (compile pipeline_src) in
+  let prop = analysis.Pipeline.propagation in
+  let output, _ = List.hd (Program.output_buffers analysis.Pipeline.golden.Golden.program) in
+  let f1 = Ff_chisel.Propagate.benign_floor prop ~output ~section:0 ~epsilon:1.0 in
+  let f2 = Ff_chisel.Propagate.benign_floor prop ~output ~section:0 ~epsilon:2.0 in
+  Alcotest.(check bool) "positive floor for a contributing section" true
+    (f1 > 0.0 && Float.is_finite f1);
+  Alcotest.(check (float 1e-9)) "linear in epsilon" (2.0 *. f1) f2
+
+(* --- store keys ------------------------------------------------------------- *)
+
+let test_policy_hash_separates_configs () =
+  Alcotest.(check bool) "on and off differ" true
+    (Prover.policy_hash Prover.on <> Prover.policy_hash Prover.off);
+  Alcotest.(check bool) "floors differ" true
+    (Prover.policy_hash { Prover.enabled = true; benign_floor = 1.0 }
+    <> Prover.policy_hash Prover.on);
+  let base = { Campaign.default_config with Campaign.prove = Prover.on } in
+  let off = { base with Campaign.prove = Prover.off } in
+  Alcotest.(check bool) "campaign config hash covers the prover policy" true
+    (Campaign.config_hash base <> Campaign.config_hash off)
+
+(* --- campaign integration: identical results, less work --------------------- *)
+
+let config_on =
+  { Campaign.default_config with Campaign.bits = prover_bits; prove = Prover.on }
+
+let config_off = { config_on with Campaign.prove = Prover.off }
+
+let test_campaign_parity_on_off_across_pools () =
+  let g = Golden.run (compile pipeline_src) in
+  let reference = Campaign.run_section g ~section_index:0 config_off in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let proved = Campaign.run_section ~pool g ~section_index:0 config_on in
+          Alcotest.(check bool)
+            (Printf.sprintf "outcomes identical at %d domain(s)" domains)
+            true
+            (Stdlib.compare reference.Campaign.s_classes proved.Campaign.s_classes = 0);
+          Alcotest.(check bool) "prover avoided injections" true
+            (proved.Campaign.s_injections < reference.Campaign.s_injections);
+          Alcotest.(check bool) "avoided replays cost no work" true
+            (proved.Campaign.s_work < reference.Campaign.s_work)))
+    [ 1; 4 ]
+
+let test_final_outcomes_parity_on_off () =
+  let g = Golden.run (compile pipeline_src) in
+  let off, _ = Campaign.final_outcomes_for_section g ~section_index:0 config_off in
+  let on, _ = Campaign.final_outcomes_for_section g ~section_index:0 config_on in
+  Alcotest.(check bool) "final outcomes identical" true (Stdlib.compare off on = 0)
+
+let test_journal_skips_proved_classes () =
+  (* With the prover on, only residual classes reach the journal; a
+     resume seeded with those entries replays nothing new and produces
+     the identical result. *)
+  let g = Golden.run (compile pipeline_src) in
+  let appended = ref [] in
+  let journal =
+    {
+      Campaign.j_every = 2;
+      j_done = Hashtbl.create 16;
+      j_append = (fun batch -> appended := batch @ !appended);
+    }
+  in
+  let first = Campaign.run_section ~journal g ~section_index:0 config_on in
+  Alcotest.(check int) "journal holds exactly the residual classes"
+    first.Campaign.s_injections
+    (List.length !appended);
+  let done_tbl = Hashtbl.create 16 in
+  List.iter (fun (i, o, w) -> Hashtbl.replace done_tbl i (o, w)) !appended;
+  let resumed = ref [] in
+  let journal2 =
+    {
+      Campaign.j_every = 2;
+      j_done = done_tbl;
+      j_append = (fun batch -> resumed := batch @ !resumed);
+    }
+  in
+  let second = Campaign.run_section ~journal:journal2 g ~section_index:0 config_on in
+  Alcotest.(check int) "resume replays nothing" 0 (List.length !resumed);
+  Alcotest.(check bool) "resume is bit-identical" true
+    (Stdlib.compare first.Campaign.s_classes second.Campaign.s_classes = 0);
+  Alcotest.(check int) "resume work matches" first.Campaign.s_work second.Campaign.s_work
+
+let () =
+  Alcotest.run "prover"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_prover_vs_replay;
+          Alcotest.test_case "fixed pipeline, bursts 1 and 2" `Quick
+            test_fixed_pipeline_differential;
+        ] );
+      ( "proof rules",
+        [
+          Alcotest.test_case "dead/overwritten dst is masked" `Quick
+            test_dead_dst_is_masked;
+          Alcotest.test_case "trap-only consumer is crash" `Quick
+            test_trap_only_consumer_is_crash;
+          Alcotest.test_case "live flip has exact SDC" `Quick
+            test_overwritten_register_flip_exact;
+          Alcotest.test_case "benign floor gates proofs" `Quick
+            test_benign_floor_gates_proofs;
+        ] );
+      ( "benign floor derivation",
+        [
+          Alcotest.test_case "affine interval bound" `Quick test_affine_interval_bound;
+          Alcotest.test_case "propagate benign_floor" `Quick test_propagate_benign_floor;
+        ] );
+      ( "store keys",
+        [
+          Alcotest.test_case "policy hash separates configs" `Quick
+            test_policy_hash_separates_configs;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "prove on/off parity at pools 1 and 4" `Quick
+            test_campaign_parity_on_off_across_pools;
+          Alcotest.test_case "final outcomes parity" `Quick
+            test_final_outcomes_parity_on_off;
+          Alcotest.test_case "journal skips proved classes" `Quick
+            test_journal_skips_proved_classes;
+        ] );
+    ]

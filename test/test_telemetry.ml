@@ -278,6 +278,7 @@ let test_campaign_outcome_tallies_sum_to_injections () =
       let result =
         Campaign.run_section golden ~section_index:0 quick_config.Pipeline.campaign
       in
+      let classes = Array.length result.Campaign.s_classes in
       let tallied =
         counter_value "campaign.outcome.masked"
         + counter_value "campaign.outcome.sdc"
@@ -285,13 +286,66 @@ let test_campaign_outcome_tallies_sum_to_injections () =
         + counter_value "campaign.outcome.timeout"
         + counter_value "campaign.outcome.misformatted"
       in
-      Alcotest.(check int) "every injection lands in one outcome class"
-        result.Campaign.s_injections tallied;
+      (* Every class — proved or replayed — lands in exactly one outcome
+         tally; the injection counter only counts the residual replays. *)
+      Alcotest.(check int) "every class lands in one outcome class" classes tallied;
       Alcotest.(check int) "injection counter matches the campaign"
         result.Campaign.s_injections
         (counter_value "campaign.injections");
+      Alcotest.(check int) "proved + residual = classes" classes
+        (counter_value "campaign.injections"
+        + counter_value "campaign.injections_avoided");
       Alcotest.(check int) "work counter matches the campaign" result.Campaign.s_work
         (counter_value "campaign.work"))
+
+let test_prover_counters_partition_classes () =
+  (* The prover's telemetry: classes_proved splits exactly into the
+     masked/crash/benign proof kinds, undecided matches the replayed
+     residue, and injections_avoided mirrors classes_proved. *)
+  with_telemetry (fun () ->
+      let program = Ff_lang.Frontend.compile_exn source in
+      let golden = Ff_vm.Golden.run program in
+      let result =
+        Campaign.run_section golden ~section_index:0 quick_config.Pipeline.campaign
+      in
+      let classes = Array.length result.Campaign.s_classes in
+      let proved = counter_value "prover.classes_proved" in
+      Alcotest.(check bool) "prover enabled by default" true
+        quick_config.Pipeline.campaign.Campaign.prove.Ff_inject.Prover.enabled;
+      Alcotest.(check int) "proved + undecided = classes" classes
+        (proved + counter_value "prover.classes_undecided");
+      Alcotest.(check int) "proof kinds partition the proved"
+        proved
+        (counter_value "prover.classes_masked"
+        + counter_value "prover.classes_crash"
+        + counter_value "prover.classes_benign");
+      Alcotest.(check int) "injections_avoided mirrors classes_proved" proved
+        (counter_value "campaign.injections_avoided");
+      Alcotest.(check int) "undecided classes are the ones injected"
+        (counter_value "prover.classes_undecided")
+        result.Campaign.s_injections;
+      (* This blur section is prover-friendly: the pre-pass must actually
+         prune something, and the JSON export must carry the counters. *)
+      Alcotest.(check bool) "prover proves some classes here" true (proved > 0);
+      let json = Telemetry.to_json ~timings:false (Telemetry.snapshot ()) in
+      let contains needle =
+        let nl = String.length needle and hl = String.length json in
+        let rec go i =
+          i + nl <= hl && (String.equal (String.sub json i nl) needle || go (i + 1))
+        in
+        go 0
+      in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (needle ^ " exported") true (contains needle))
+        [
+          "\"prover.classes_proved\"";
+          "\"prover.classes_masked\"";
+          "\"prover.classes_crash\"";
+          "\"prover.classes_benign\"";
+          "\"prover.classes_undecided\"";
+          "\"campaign.injections_avoided\"";
+        ])
 
 let () =
   Alcotest.run "telemetry"
@@ -328,5 +382,7 @@ let () =
             test_pipeline_counters_match_store;
           Alcotest.test_case "outcome tallies sum to injections" `Quick
             test_campaign_outcome_tallies_sum_to_injections;
+          Alcotest.test_case "prover counters partition classes" `Quick
+            test_prover_counters_partition_classes;
         ] );
     ]
