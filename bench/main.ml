@@ -542,6 +542,162 @@ let emit_prune_json () =
     Printf.printf "wrote BENCH_prune.json (best prune ratio %.1f%%, aggregate speedup %.2fx)\n%!"
       (100.0 *. best) aggregate
 
+(* --- analysis service: cold vs warm latency, concurrent throughput ------ *)
+
+type server_result = {
+  sv_cold_ms : float;
+  sv_warm_p50_ms : float;
+  sv_warm_p95_ms : float;
+  sv_throughput_rps : float;
+  sv_clients : int;
+  sv_requests : int;
+  sv_identical : bool;
+}
+
+let server_result : server_result option ref = ref None
+
+let sv_speedup r =
+  if r.sv_warm_p50_ms > 0.0 then r.sv_cold_ms /. r.sv_warm_p50_ms else 0.0
+
+let print_server config =
+  (* Measure the daemon end to end over its real Unix-socket transport:
+     one cold analysis, then warm repeats (cache hits), then a concurrent
+     burst from several client threads. Every response — cold, warm, and
+     concurrent — must be byte-identical to what the one-shot CLI prints
+     for the same request; a divergence is fatal. *)
+  let module Protocol = Ff_serve.Protocol in
+  let module Client = Ff_serve.Client in
+  let bench = Option.get (Registry.find "LUD") in
+  let source = bench.Defs.source Defs.V_none in
+  let bits =
+    match config.Pipeline.campaign.Campaign.bits with
+    | Site.All_bits -> []
+    | Site.Bit_list l -> l
+  in
+  let query =
+    {
+      Protocol.default_query with
+      Protocol.q_bits = bits;
+      q_samples = config.Pipeline.sensitivity_samples;
+    }
+  in
+  (* The identity oracle: exactly what `fastflip analyze` would print. *)
+  let reference =
+    let qconfig =
+      Ff_serve.Engine.config_of ~bits ~samples:query.Protocol.q_samples
+        ~epsilon:query.Protocol.q_epsilon ~prove:query.Protocol.q_prove
+    in
+    let analysis =
+      Pipeline.analyze ~store:(Fastflip.Store.create ()) qconfig
+        (Ff_lang.Frontend.compile_exn source)
+    in
+    Ff_serve.Report.analysis ~target:query.Protocol.q_target analysis
+  in
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ff_bench_%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists socket then Sys.remove socket;
+  let server =
+    Thread.create (fun () -> Ff_serve.Server.run ~socket ~pool:(Lazy.force pool) ()) ()
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while not (Sys.file_exists socket) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  if not (Sys.file_exists socket) then failwith "daemon did not come up within 10s";
+  let req = Protocol.Analyze { source; query } in
+  let identical = Atomic.make true in
+  let ask () =
+    match Client.request ~socket req with
+    | Ok (Protocol.Report text) ->
+      if not (String.equal text reference) then Atomic.set identical false
+    | Ok (Protocol.Error msg) -> failwith ("daemon error: " ^ msg)
+    | Ok _ -> failwith "unexpected daemon response"
+    | Error msg -> failwith msg
+  in
+  let (), cold_s = wall ask in
+  (* Warm latencies include a fresh connect per request, like a real
+     short-lived client would pay. *)
+  let repeats = 40 in
+  let warm = Array.init repeats (fun _ -> snd (wall ask)) in
+  Array.sort compare warm;
+  let p50 = warm.(repeats * 50 / 100) and p95 = warm.(repeats * 95 / 100) in
+  let clients = 4 and per_client = 25 in
+  let burst () =
+    let threads =
+      List.init clients (fun _ ->
+          Thread.create
+            (fun () ->
+              Client.with_connection ~socket (fun fd ->
+                  for _ = 1 to per_client do
+                    match Client.exchange fd req with
+                    | Ok (Protocol.Report text) when String.equal text reference -> ()
+                    | _ -> Atomic.set identical false
+                  done))
+            ())
+    in
+    List.iter Thread.join threads
+  in
+  let (), burst_s = wall burst in
+  (match Client.request ~socket Protocol.Shutdown with
+  | Ok Protocol.Bye -> ()
+  | _ -> Atomic.set identical false);
+  Thread.join server;
+  let r =
+    {
+      sv_cold_ms = cold_s *. 1e3;
+      sv_warm_p50_ms = p50 *. 1e3;
+      sv_warm_p95_ms = p95 *. 1e3;
+      sv_throughput_rps =
+        (if burst_s > 0.0 then float_of_int (clients * per_client) /. burst_s else 0.0);
+      sv_clients = clients;
+      sv_requests = 1 + repeats + (clients * per_client);
+      sv_identical = Atomic.get identical;
+    }
+  in
+  server_result := Some r;
+  let t =
+    Ff_support.Table.create
+      ~title:
+        (Printf.sprintf "fastflip serve: LUD (V_none) over a Unix socket, %d clients"
+           clients)
+      [
+        ("Metric", Ff_support.Table.Left);
+        ("Value", Ff_support.Table.Right);
+      ]
+  in
+  List.iter
+    (fun row -> Ff_support.Table.add_row t row)
+    [
+      [ "cold request ms"; Printf.sprintf "%.2f" r.sv_cold_ms ];
+      [ "warm p50 ms"; Printf.sprintf "%.2f" r.sv_warm_p50_ms ];
+      [ "warm p95 ms"; Printf.sprintf "%.2f" r.sv_warm_p95_ms ];
+      [ "warm speedup"; Printf.sprintf "%.0fx" (sv_speedup r) ];
+      [ "concurrent throughput req/s"; Printf.sprintf "%.0f" r.sv_throughput_rps ];
+      [ "identical to one-shot CLI"; string_of_bool r.sv_identical ];
+    ];
+  Ff_support.Table.print t;
+  if not r.sv_identical then begin
+    prerr_endline "FATAL: daemon responses diverged from the one-shot CLI";
+    exit 1
+  end
+
+let emit_server_json () =
+  match !server_result with
+  | None -> ()
+  | Some r ->
+    let oc = open_out "BENCH_server.json" in
+    Printf.fprintf oc
+      "{\n  \"cold_ms\": %.3f,\n  \"warm_p50_ms\": %.3f,\n  \"warm_p95_ms\": %.3f,\n  \
+       \"warm_speedup\": %.1f,\n  \"clients\": %d,\n  \"requests\": %d,\n  \
+       \"throughput_rps\": %.1f,\n  \"identical\": %b\n}\n"
+      r.sv_cold_ms r.sv_warm_p50_ms r.sv_warm_p95_ms (sv_speedup r) r.sv_clients
+      r.sv_requests r.sv_throughput_rps r.sv_identical;
+    close_out oc;
+    Printf.printf "wrote BENCH_server.json (warm speedup %.0fx, %.0f req/s)\n%!"
+      (sv_speedup r) r.sv_throughput_rps
+
 (* --- Bechamel micro-benchmarks ----------------------------------------- *)
 
 let micro () =
@@ -619,6 +775,7 @@ let artifacts =
     ("parallel", print_parallel);
     ("vm", print_vm);
     ("prune", print_prune);
+    ("server", print_server);
   ]
 
 let run_artifact config name f =
@@ -661,9 +818,13 @@ let () =
         if String.equal name "micro" then micro ()
         else run_artifact config name (List.assoc name artifacts))
       names);
-  emit_parallel_json ~quick ();
+  (* Each BENCH_*.json is written only when its artifact ran, so a
+     single-artifact invocation (e.g. `quick server`) never clobbers the
+     others with empty shells. *)
+  if !phase_timings <> [] then emit_parallel_json ~quick ();
   emit_vm_json ();
   emit_prune_json ();
+  emit_server_json ();
   (match metrics with
   | Some path ->
     Telemetry.write ~path ();

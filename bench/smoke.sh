@@ -4,12 +4,11 @@
 # exercised (and verified bit-identical) in tier-1-style verification.
 # Also available as a dune alias: dune build @bench-quick
 #
-# Exits nonzero if the bench itself fails, if the serial-vs-parallel
-# identical-results check fails, if the unboxed engine diverges from the
-# boxed oracle, if a prover-pruned campaign diverges from full replay, or
-# if BENCH_parallel.json / BENCH_vm.json / BENCH_prune.json are missing
-# or malformed — so CI catches a silently broken bench, not just a
-# crashed one.
+# Exits nonzero if the bench itself fails (it exits nonzero on any
+# serial-vs-parallel, boxed-vs-unboxed, or prover-vs-replay divergence),
+# or if scripts/bench_gate.sh rejects a produced BENCH_*.json artifact
+# (missing, malformed, diverged, or below its performance floor) — so CI
+# catches a silently broken bench, not just a crashed one.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -21,36 +20,16 @@ fail() {
 dune build bench/main.exe
 
 rm -f BENCH_parallel.json BENCH_vm.json BENCH_prune.json
-# main.exe exits nonzero itself when the parallel run diverges from serial,
-# the unboxed engine diverges from the boxed oracle, or a prover-pruned
-# campaign diverges from full replay.
 FF_DOMAINS=2 dune exec bench/main.exe -- quick parallel table3 vm prune \
   --metrics BENCH_metrics.json
 
-[ -s BENCH_parallel.json ] || fail "BENCH_parallel.json missing or empty"
-grep -q '"phases"' BENCH_parallel.json || fail "BENCH_parallel.json malformed: no \"phases\" key"
-grep -q '"tables"' BENCH_parallel.json || fail "BENCH_parallel.json malformed: no \"tables\" key"
-tail -c 3 BENCH_parallel.json | grep -q '}' || fail "BENCH_parallel.json malformed: truncated"
-if grep -q '"identical": false' BENCH_parallel.json; then
-  fail "serial-vs-parallel identical-results check failed"
-fi
-grep -q '"identical": true' BENCH_parallel.json || fail "no identical-results phases recorded"
+# Artifact validity and performance floors live in one place: the gate.
+sh scripts/bench_gate.sh BENCH_parallel.json BENCH_vm.json BENCH_prune.json \
+  || fail "bench gate rejected an artifact"
 
-[ -s BENCH_vm.json ] || fail "BENCH_vm.json missing or empty"
-grep -q '"engines"' BENCH_vm.json || fail "BENCH_vm.json malformed: no \"engines\" key"
-grep -q '"campaign_speedup"' BENCH_vm.json || fail "BENCH_vm.json malformed: no \"campaign_speedup\" key"
-grep -q '"identical": true' BENCH_vm.json || fail "unboxed engine not verified identical to boxed oracle"
-
-[ -s BENCH_prune.json ] || fail "BENCH_prune.json missing or empty"
-grep -q '"prune_ratio"' BENCH_prune.json || fail "BENCH_prune.json malformed: no \"prune_ratio\" key"
-grep -q '"aggregate_speedup"' BENCH_prune.json || fail "BENCH_prune.json malformed: no \"aggregate_speedup\" key"
-grep -q '"identical": true' BENCH_prune.json || fail "prover-pruned campaign not verified identical to full replay"
-if grep -q '"identical": false' BENCH_prune.json; then
-  fail "prover-pruned campaign diverged from full replay"
-fi
-
+# The telemetry export is not a bench result, so the gate does not own it.
 [ -s BENCH_metrics.json ] || fail "BENCH_metrics.json missing or empty"
 grep -q '"campaign.injections"' BENCH_metrics.json || fail "BENCH_metrics.json malformed: no campaign counters"
 grep -q '"prover.classes_proved"' BENCH_metrics.json || fail "BENCH_metrics.json malformed: no prover counters"
 
-echo "bench/smoke.sh: ok (parallel + engine + prover results identical, artifacts well-formed)"
+echo "bench/smoke.sh: ok (parallel + engine + prover results identical, gate floors hold)"

@@ -8,7 +8,10 @@
      compare  <file>      FastFlip vs monolithic-baseline utility and work
      bench    <name>      analyze a built-in benchmark (3 versions,
                           incremental store) and print speedups
-     list                 list the built-in benchmarks *)
+     list                 list the built-in benchmarks
+     serve    <socket>    analysis-as-a-service daemon with warm state
+     query    <socket> <file>   analyze via a running daemon
+     shutdown <socket>    stop a running daemon cleanly *)
 
 open Cmdliner
 module Pipeline = Fastflip.Pipeline
@@ -17,6 +20,7 @@ module Site = Ff_inject.Site
 module Table = Ff_support.Table
 module Pool = Ff_support.Pool
 module Telemetry = Ff_support.Telemetry
+module Protocol = Ff_serve.Protocol
 
 let read_file path =
   let ic = open_in_bin path in
@@ -32,21 +36,11 @@ let compile_file path =
     Format.eprintf "%s: %a@." path Ff_lang.Frontend.pp_error e;
     exit 1
 
-let config_of ~bits ~samples ~no_prove =
-  let bit_list =
-    match bits with
-    | [] -> Site.default_bits
-    | bits -> Site.Bit_list bits
-  in
-  let prove =
-    if no_prove then Ff_inject.Prover.off else Ff_inject.Prover.default_policy
-  in
-  {
-    Pipeline.default_config with
-    Pipeline.campaign =
-      { Campaign.default_config with Campaign.bits = bit_list; prove };
-    sensitivity_samples = samples;
-  }
+(* The option-to-config mapping lives in Ff_serve.Engine so the one-shot
+   commands and the daemon build the exact same configuration — the
+   byte-identity contract between [analyze] and [query] depends on it. *)
+let config_of ?(epsilon = 0.0) ~bits ~samples ~no_prove () =
+  Ff_serve.Engine.config_of ~bits ~samples ~epsilon ~prove:(not no_prove)
 
 (* --- arguments ----------------------------------------------------------- *)
 
@@ -225,7 +219,7 @@ let run_cmd =
 let analyze_cmd =
   let run path target bits samples epsilon store_path strict jobs metrics every resume
       no_prove =
-    let config = { (config_of ~bits ~samples ~no_prove) with Pipeline.epsilon } in
+    let config = config_of ~epsilon ~bits ~samples ~no_prove () in
     let program = compile_file path in
     let analysis =
       with_metrics metrics (fun () ->
@@ -234,42 +228,7 @@ let analyze_cmd =
                   with_store ~strict store_path (fun store ->
                       Pipeline.analyze ~store ~pool ?checkpoint config program))))
     in
-    Printf.printf "sections reused from the store: %d/%d\n"
-      analysis.Pipeline.sections_reused
-      (analysis.Pipeline.sections_reused + analysis.Pipeline.sections_analyzed);
-    Printf.printf "injection + sensitivity work: %d simulated instructions\n"
-      analysis.Pipeline.work;
-    Printf.printf "total SDC-Bad value mass: %d sites over %d dynamic instructions\n\n"
-      analysis.Pipeline.valuation.Fastflip.Valuation.total_value
-      analysis.Pipeline.valuation.Fastflip.Valuation.total_cost;
-    Format.printf "End-to-end SDC specification:@.%a@."
-      Ff_chisel.Propagate.pp analysis.Pipeline.propagation;
-    let t =
-      Table.create ~title:"Per-instruction protection value and cost"
-        [ ("pc", Table.Left); ("v(pc) sites", Table.Right); ("c(pc) dyn", Table.Right) ]
-    in
-    List.iter
-      (fun (pc, v) ->
-        Table.add_row t
-          [
-            Format.asprintf "%a" Site.pp_pc pc;
-            string_of_int v;
-            string_of_int (Fastflip.Valuation.cost_of analysis.Pipeline.valuation pc);
-          ])
-      analysis.Pipeline.valuation.Fastflip.Valuation.values;
-    Table.print t;
-    let selection = Pipeline.select analysis ~target in
-    Printf.printf
-      "\nknapsack selection for v_trgt = %.2f: %d instructions, cost %d dyn instrs (%.1f%% of trace)\n"
-      target
-      (List.length selection.Fastflip.Knapsack.pcs)
-      selection.Fastflip.Knapsack.cost
-      (100.0
-      *. Fastflip.Valuation.cost_fraction analysis.Pipeline.valuation
-           ~selected:selection.Fastflip.Knapsack.pcs);
-    Printf.printf "selected: %s\n"
-      (String.concat ", "
-         (List.map (Format.asprintf "%a" Site.pp_pc) selection.Fastflip.Knapsack.pcs))
+    print_string (Ff_serve.Report.analysis ~target analysis)
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -280,7 +239,7 @@ let analyze_cmd =
 
 let compare_cmd =
   let run path target bits samples epsilon jobs metrics no_prove =
-    let config = { (config_of ~bits ~samples ~no_prove) with Pipeline.epsilon } in
+    let config = config_of ~epsilon ~bits ~samples ~no_prove () in
     let program = compile_file path in
     let ff, base =
       with_metrics metrics (fun () ->
@@ -323,7 +282,7 @@ let bench_cmd =
         (String.concat ", " Ff_benchmarks.Registry.names);
       exit 1
     | Some bench ->
-      let config = config_of ~bits ~samples ~no_prove in
+      let config = config_of ~bits ~samples ~no_prove () in
       let run =
         with_metrics metrics (fun () ->
             with_jobs jobs (fun pool ->
@@ -354,6 +313,74 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Analyze a built-in benchmark across its three versions.")
     Term.(const run $ name_arg $ bits_arg $ samples_arg $ jobs_arg $ metrics_arg $ no_prove_arg)
 
+(* --- serve / query / shutdown -------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SOCKET"
+         ~doc:"Unix domain socket path the daemon listens on.")
+
+let serve_cmd =
+  let run socket store_path strict jobs metrics =
+    with_metrics metrics (fun () ->
+        with_jobs jobs (fun pool ->
+            try Ff_serve.Server.run ~socket ?store_path ~strict_store:strict ~pool ()
+            with Failure msg ->
+              Printf.eprintf "fastflip: %s\n" msg;
+              exit 1))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the analysis-as-a-service daemon: accept analyze requests from               many concurrent clients over $(docv), keeping decoded kernels,               golden traces, workspace plans, and the store hot across requests.               Responses are byte-identical to the one-shot $(b,analyze) command.               Stop with SIGTERM/SIGINT or the $(b,shutdown) subcommand.")
+    Term.(const run $ socket_arg $ store_arg $ strict_store_arg $ jobs_arg $ metrics_arg)
+
+let query_cmd =
+  let file_pos1_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Kernel-language source file.")
+  in
+  let run socket path target bits samples epsilon no_prove =
+    let source = read_file path in
+    let query =
+      {
+        Protocol.q_target = target;
+        q_bits = bits;
+        q_samples = samples;
+        q_epsilon = epsilon;
+        q_prove = not no_prove;
+      }
+    in
+    match Ff_serve.Client.request ~socket (Protocol.Analyze { source; query }) with
+    | Ok (Protocol.Report text) -> print_string text
+    | Ok (Protocol.Error msg) ->
+      Printf.eprintf "fastflip: %s: %s\n" path msg;
+      exit 1
+    | Ok _ ->
+      Printf.eprintf "fastflip: unexpected response from %s\n" socket;
+      exit 1
+    | Error msg ->
+      Printf.eprintf "fastflip: %s\n" msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Analyze a program via a running $(b,serve) daemon and print the               report — byte-identical to running $(b,analyze) directly, but warm               daemon state (cached analyses, decoded kernels, store records)               answers repeat queries in milliseconds.")
+    Term.(const run $ socket_arg $ file_pos1_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ no_prove_arg)
+
+let shutdown_cmd =
+  let run socket =
+    match Ff_serve.Client.request ~socket Protocol.Shutdown with
+    | Ok Protocol.Bye -> print_endline "daemon acknowledged shutdown"
+    | Ok _ ->
+      Printf.eprintf "fastflip: unexpected response from %s\n" socket;
+      exit 1
+    | Error msg ->
+      Printf.eprintf "fastflip: %s\n" msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Stop a running $(b,serve) daemon cleanly (it saves               its store and removes the socket before exiting).")
+    Term.(const run $ socket_arg)
+
 (* --- list ---------------------------------------------------------------------- *)
 
 let list_cmd =
@@ -371,4 +398,10 @@ let () =
     Cmd.info "fastflip" ~version:"1.0.0"
       ~doc:"Compositional SDC resiliency analysis (FastFlip, CGO 2025 reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; analyze_cmd; compare_cmd; bench_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            compile_cmd; run_cmd; analyze_cmd; compare_cmd; bench_cmd; list_cmd;
+            serve_cmd; query_cmd; shutdown_cmd;
+          ]))

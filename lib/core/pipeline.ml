@@ -79,6 +79,17 @@ let rebase_record (record : Store.section_record) ~section_index =
     { record with Store.rec_campaign = campaign; rec_sensitivity = sensitivity }
   end
 
+let config_hash config =
+  Hashing.combine
+    (Campaign.config_hash config.campaign)
+    (let h = Hashing.create () in
+     Hashing.add_int h config.sensitivity_samples;
+     Hashing.add_float h config.max_perturbation;
+     Hashing.add_float h config.safety_factor;
+     Hashing.add_int64 h config.seed;
+     Hashing.add_float h config.epsilon;
+     Hashing.value h)
+
 let section_key config (section : Golden.section_run) =
   {
     Store.code_hash = Kernel.code_hash section.Golden.kernel;
@@ -126,11 +137,31 @@ type section_plan =
   | Fresh_first                     (* first section needing this key *)
   | Fresh_dup                       (* later section sharing a missed key *)
 
-let analyze ?store ?(pool = Pool.serial) ?checkpoint config program =
-  Telemetry.span "pipeline.analyze" @@ fun () ->
+type prepared = {
+  p_program : Ff_ir.Program.t;
+  p_golden : Golden.t;
+  p_dataflow : Dataflow.t;
+  p_keys : Store.key array;
+}
+
+let prepare config program =
   let golden = Golden.run program in
   let dataflow = Dataflow.of_golden golden in
   let keys = Array.map (section_key config) golden.Golden.sections in
+  { p_program = program; p_golden = golden; p_dataflow = dataflow; p_keys = keys }
+
+type backing = {
+  lookup : Store.key -> Store.section_record option;
+  publish : Store.section_record -> unit;
+}
+
+let backing_of_store store =
+  { lookup = Store.find store; publish = Store.add store }
+
+let analyze_prepared ?backing ?(pool = Pool.serial) ?checkpoint config prepared =
+  let golden = prepared.p_golden in
+  let dataflow = prepared.p_dataflow in
+  let keys = prepared.p_keys in
   (* Phase 1 (coordinating domain): one counted lookup per key; duplicate
      misses defer their lookup to phase 3, where the serial run would
      have found the record just added. *)
@@ -140,9 +171,9 @@ let analyze ?store ?(pool = Pool.serial) ?checkpoint config program =
       (fun key ->
         if Hashtbl.mem missed key then Fresh_dup
         else
-          match store with
-          | Some s ->
-            (match Store.find s key with
+          match backing with
+          | Some b ->
+            (match b.lookup key with
             | Some record -> Cached record
             | None ->
               Hashtbl.add missed key ();
@@ -208,15 +239,15 @@ let analyze ?store ?(pool = Pool.serial) ?checkpoint config program =
             record
           | Fresh_first ->
             let record = Hashtbl.find fresh_by_key key in
-            (match store with Some s -> Store.add s record | None -> ());
+            (match backing with Some b -> b.publish record | None -> ());
             charge record;
             record
           | Fresh_dup ->
-            (match store with
-            | Some s ->
+            (match backing with
+            | Some b ->
               (* The serial run's lookup for this section: a hit against
                  the record added by the Fresh_first occurrence. *)
-              (match Store.find s key with
+              (match b.lookup key with
               | Some record ->
                 reuse record;
                 record
@@ -258,6 +289,13 @@ let analyze ?store ?(pool = Pool.serial) ?checkpoint config program =
     sections_reused = !reused;
     sections_analyzed = !analyzed;
   }
+
+let analyze ?store ?pool ?checkpoint config program =
+  Telemetry.span "pipeline.analyze" @@ fun () ->
+  let prepared = prepare config program in
+  analyze_prepared
+    ?backing:(Option.map backing_of_store store)
+    ?pool ?checkpoint config prepared
 
 let ground_truth_for_section ?pool analysis ~section_index campaign_config =
   (* §4.10 "simultaneous" ground-truth labels: reuse the equivalence

@@ -35,6 +35,55 @@ type analysis = {
   sections_analyzed : int;
 }
 
+val config_hash : config -> int64
+(** Digest of the full analysis configuration — campaign (bits, burst,
+    timeout, prover policy), sensitivity sampling, seed, and ε. Two
+    configs with equal hashes produce the same analysis of the same
+    program; the serve daemon keys its warm-state cache on
+    [(source, config_hash)]. Note this is {e not} the per-section store
+    key's config component (which excludes ε, because stored outcomes can
+    be re-labeled under a new ε without re-injection). *)
+
+type prepared = {
+  p_program : Ff_ir.Program.t;
+  p_golden : Ff_vm.Golden.t;      (** carries the decoded kernels *)
+  p_dataflow : Ff_chisel.Dataflow.t;
+  p_keys : Store.key array;       (** store key of each schedule section *)
+}
+(** Pre-warmed analysis state: everything {!analyze} derives before it
+    decides what to inject. The serve daemon computes this once per
+    request, probes the store with [p_keys] to classify the request as
+    replay-free or injection-bound ({e admission control}), and then
+    hands it to {!analyze_prepared} — nothing is re-derived. *)
+
+val prepare : config -> Ff_ir.Program.t -> prepared
+(** Golden-run the program, build the dataflow summary, and compute the
+    per-section store keys. Raises [Failure] if the golden run traps. *)
+
+type backing = {
+  lookup : Store.key -> Store.section_record option;
+  publish : Store.section_record -> unit;
+}
+(** Store access as first-class callbacks, so a caller that shares one
+    store between concurrent analyses (the serve daemon) can interpose a
+    lock held only for the microseconds of each lookup/insert — never for
+    the duration of a campaign. *)
+
+val backing_of_store : Store.t -> backing
+(** Plain unsynchronized access — what the one-shot CLI uses. *)
+
+val analyze_prepared :
+  ?backing:backing ->
+  ?pool:Ff_support.Pool.t ->
+  ?checkpoint:Checkpoint.t ->
+  config ->
+  prepared ->
+  analysis
+(** {!analyze} starting from pre-warmed state: identical semantics,
+    counters, and results, but the golden run, dataflow, and section keys
+    are taken from [prepared] instead of being re-derived. Without a
+    [backing] every section is re-analyzed (no store). *)
+
 val analyze :
   ?store:Store.t ->
   ?pool:Ff_support.Pool.t ->

@@ -38,6 +38,8 @@ let find t key =
     Telemetry.incr m_misses;
     None
 
+let peek t key = Hashtbl.find_opt t.table key
+
 let add t record =
   Telemetry.incr m_adds;
   Hashtbl.replace t.table record.rec_key record

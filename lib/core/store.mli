@@ -27,6 +27,12 @@ val create : unit -> t
 
 val find : t -> key -> section_record option
 
+val peek : t -> key -> section_record option
+(** {!find} without touching the hit/miss telemetry — for admission
+    probes (the serve daemon classifying a request as replay-free before
+    the real, counted lookups run) that must not perturb the counters the
+    analysis itself reports. *)
+
 val add : t -> section_record -> unit
 (** Last write wins on key collisions. *)
 

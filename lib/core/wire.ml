@@ -15,6 +15,10 @@ let w_int64 buf v =
 let w_int buf v = w_int64 buf (Int64.of_int v)
 let w_float buf v = w_int64 buf (Int64.bits_of_float v)
 
+let w_string buf s =
+  w_int buf (String.length s);
+  Buffer.add_string buf s
+
 let w_array buf w_elem arr =
   w_int buf (Array.length arr);
   Array.iter (w_elem buf) arr
@@ -52,6 +56,14 @@ let r_length c what =
   let n = r_int c in
   if n < 0 || n > 100_000_000 then raise (Corrupt ("implausible length for " ^ what));
   n
+
+let r_string c what =
+  let n = r_int c in
+  if n < 0 || n > String.length c.data - c.pos then
+    raise (Corrupt ("implausible byte length for " ^ what));
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
 
 let r_array c r_elem what =
   let n = r_length c what in

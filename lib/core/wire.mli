@@ -21,6 +21,10 @@
 val w_int64 : Buffer.t -> int64 -> unit
 val w_int : Buffer.t -> int -> unit
 val w_float : Buffer.t -> float -> unit
+val w_string : Buffer.t -> string -> unit
+(** Length-prefixed bytes (used by the serve protocol for program
+    sources and rendered reports). *)
+
 val w_array : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a array -> unit
 val w_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
 
@@ -43,6 +47,10 @@ val r_int : cursor -> int
 val r_float : cursor -> float
 val r_length : cursor -> string -> int
 (** A non-negative, plausibility-bounded element count. *)
+
+val r_string : cursor -> string -> string
+(** Length-prefixed bytes; the length is bounds-checked against the
+    remaining input before any allocation. *)
 
 val r_array : cursor -> (cursor -> 'a) -> string -> 'a array
 val r_list : cursor -> (cursor -> 'a) -> string -> 'a list

@@ -1,0 +1,102 @@
+module Telemetry = Ff_support.Telemetry
+
+let m_entries = Telemetry.counter "serve.cache.entries"
+let m_evictions = Telemetry.counter "serve.cache.evictions"
+
+type state =
+  | Computing
+  | Ready of Fastflip.Pipeline.analysis
+
+type slot = {
+  mutable state : state;
+  mutable last_used : int;  (* LRU tick; only meaningful when Ready *)
+}
+
+type t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  capacity : int;
+  table : (int64, slot) Hashtbl.t;
+  mutable tick : int;
+}
+
+let create ?(capacity = 32) () =
+  if capacity < 0 then invalid_arg "Cache.create: negative capacity";
+  {
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    capacity;
+    table = Hashtbl.create 16;
+    tick = 0;
+  }
+
+let size t =
+  Mutex.lock t.mu;
+  let n =
+    Hashtbl.fold
+      (fun _ slot acc -> match slot.state with Ready _ -> acc + 1 | _ -> acc)
+      t.table 0
+  in
+  Mutex.unlock t.mu;
+  n
+
+(* Evict the least-recently-used Ready entries down to capacity; called
+   with the lock held. Computing slots are pinned. *)
+let enforce_capacity t =
+  let ready = ref [] in
+  Hashtbl.iter
+    (fun key slot ->
+      match slot.state with
+      | Ready _ -> ready := (slot.last_used, key) :: !ready
+      | Computing -> ())
+    t.table;
+  let excess = List.length !ready - t.capacity in
+  if excess > 0 then
+    List.sort compare !ready
+    |> List.filteri (fun i _ -> i < excess)
+    |> List.iter (fun (_, key) ->
+           Hashtbl.remove t.table key;
+           Telemetry.incr m_evictions)
+
+type outcome =
+  | Hit
+  | Coalesced
+  | Miss
+
+let find_or_compute t ~key ~compute =
+  Mutex.lock t.mu;
+  let rec claim waited =
+    match Hashtbl.find_opt t.table key with
+    | Some ({ state = Ready a; _ } as slot) ->
+      t.tick <- t.tick + 1;
+      slot.last_used <- t.tick;
+      Mutex.unlock t.mu;
+      (Ok a, if waited then Coalesced else Hit)
+    | Some { state = Computing; _ } ->
+      Condition.wait t.cond t.mu;
+      claim true
+    | None when waited ->
+      (* The computation we waited on failed (its slot was removed before
+         the broadcast): retry as the new computer rather than reporting
+         a stale failure. *)
+      compute_here ()
+    | None -> compute_here ()
+  and compute_here () =
+    let slot = { state = Computing; last_used = 0 } in
+    Hashtbl.replace t.table key slot;
+    Mutex.unlock t.mu;
+    let result = try Ok (compute ()) with e -> Error e in
+    Mutex.lock t.mu;
+    (match result with
+    | Ok a ->
+      t.tick <- t.tick + 1;
+      slot.state <- Ready a;
+      slot.last_used <- t.tick;
+      Telemetry.incr m_entries;
+      enforce_capacity t
+    | Error _ -> Hashtbl.remove t.table key);
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mu;
+    (result, Miss)
+  in
+  claim false

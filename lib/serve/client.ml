@@ -1,0 +1,23 @@
+let with_connection ~socket f =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      f fd)
+
+let exchange fd req =
+  match Protocol.send_request fd req with
+  | () -> (
+    match Protocol.recv_response fd with
+    | Ok resp -> Ok resp
+    | Error `Closed -> Error "connection closed by the daemon"
+    | Error (`Malformed msg) -> Error ("malformed response: " ^ msg))
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("cannot send request: " ^ Unix.error_message e)
+
+let request ~socket req =
+  match with_connection ~socket (fun fd -> exchange fd req) with
+  | result -> result
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e))

@@ -1,0 +1,15 @@
+(** Client side of the serve protocol: one connection, one or more
+    request/response exchanges. Used by the CLI's [query]/[shutdown]
+    subcommands, the bench harness, and the tests. *)
+
+val with_connection : socket:string -> (Unix.file_descr -> 'a) -> 'a
+(** Connect to the daemon's Unix socket, run the callback, always close.
+    Raises [Unix.Unix_error] if the daemon is not listening. *)
+
+val exchange :
+  Unix.file_descr -> Protocol.request -> (Protocol.response, string) result
+(** One request/response on an open connection. *)
+
+val request : socket:string -> Protocol.request -> (Protocol.response, string) result
+(** Connect, {!exchange} once, close. [Error] covers a missing daemon as
+    well as transport failures, rendered as a readable message. *)

@@ -1,0 +1,135 @@
+module Pipeline = Fastflip.Pipeline
+module Store = Fastflip.Store
+module Campaign = Ff_inject.Campaign
+module Site = Ff_inject.Site
+module Pool = Ff_support.Pool
+module Hashing = Ff_support.Hashing
+module Telemetry = Ff_support.Telemetry
+
+let m_requests = Telemetry.counter "serve.requests"
+let m_errors = Telemetry.counter "serve.errors"
+let m_warm_hits = Telemetry.counter "serve.warm_hits"
+let m_coalesced = Telemetry.counter "serve.coalesced"
+let m_cold = Telemetry.counter "serve.cold"
+let m_fast_path = Telemetry.counter "serve.fast_path"
+let m_slow_path = Telemetry.counter "serve.slow_path"
+let m_latency = Telemetry.histogram ~volatile:true "serve.latency_us"
+let m_warm_latency = Telemetry.histogram ~volatile:true "serve.warm_latency_us"
+
+let config_of ~bits ~samples ~epsilon ~prove =
+  let bit_list =
+    match bits with
+    | [] -> Site.default_bits
+    | bits -> Site.Bit_list bits
+  in
+  let prove =
+    if prove then Ff_inject.Prover.default_policy else Ff_inject.Prover.off
+  in
+  {
+    Pipeline.default_config with
+    Pipeline.campaign =
+      { Campaign.default_config with Campaign.bits = bit_list; prove };
+    sensitivity_samples = samples;
+    epsilon;
+  }
+
+let config_of_query (q : Protocol.query) =
+  config_of ~bits:q.Protocol.q_bits ~samples:q.Protocol.q_samples
+    ~epsilon:q.Protocol.q_epsilon ~prove:q.Protocol.q_prove
+
+(* The warm-state key: program text plus the full analysis configuration
+   (the knapsack target is deliberately excluded — selection at any
+   target reuses the same cached analysis). *)
+let cache_key ~source config =
+  let h = Hashing.create () in
+  Hashing.add_string h source;
+  Hashing.add_int64 h (Pipeline.config_hash config);
+  Hashing.value h
+
+type t = {
+  cache : Cache.t;
+  e_store : Store.t;
+  store_mu : Mutex.t;  (* held per lookup/insert, never across a campaign *)
+  lane_mu : Mutex.t;   (* the slow lane: injection-bound requests only *)
+  pool : Pool.t;
+}
+
+let create ?(cache_capacity = 32) ?(store = Store.create ()) ?(pool = Pool.serial)
+    () =
+  {
+    cache = Cache.create ~capacity:cache_capacity ();
+    e_store = store;
+    store_mu = Mutex.create ();
+    lane_mu = Mutex.create ();
+    pool;
+  }
+
+let store t = t.e_store
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let backing t =
+  {
+    Pipeline.lookup = (fun key -> locked t.store_mu (fun () -> Store.find t.e_store key));
+    publish = (fun record -> locked t.store_mu (fun () -> Store.add t.e_store record));
+  }
+
+let analyze t ~source (query : Protocol.query) =
+  let t0 = Telemetry.now_ns () in
+  match Ff_lang.Frontend.compile source with
+  | Error e -> Error (Format.asprintf "%a" Ff_lang.Frontend.pp_error e)
+  | Ok program -> (
+    let config = config_of_query query in
+    let key = cache_key ~source config in
+    let compute () =
+      (* Admission control: derive the replay-free state, then classify
+         the request before it may touch the campaign lane. *)
+      let prepared = Pipeline.prepare config program in
+      let covered =
+        locked t.store_mu (fun () ->
+            Array.for_all
+              (fun k -> Store.peek t.e_store k <> None)
+              prepared.Pipeline.p_keys)
+      in
+      if covered then begin
+        (* Pure store-lookup + knapsack: stays on this thread, never
+           queues behind an injection-bound request. *)
+        Telemetry.incr m_fast_path;
+        Pipeline.analyze_prepared ~backing:(backing t) config prepared
+      end
+      else begin
+        Telemetry.incr m_slow_path;
+        locked t.lane_mu (fun () ->
+            Pipeline.analyze_prepared ~backing:(backing t) ~pool:t.pool config
+              prepared)
+      end
+    in
+    match Cache.find_or_compute t.cache ~key ~compute with
+    | Ok a, outcome ->
+      let report = Report.analysis ~target:query.Protocol.q_target a in
+      (match outcome with
+      | Cache.Hit ->
+        Telemetry.incr m_warm_hits;
+        Telemetry.observe m_warm_latency ((Telemetry.now_ns () - t0) / 1000)
+      | Cache.Coalesced -> Telemetry.incr m_coalesced
+      | Cache.Miss -> Telemetry.incr m_cold);
+      Ok report
+    | Error (Failure msg), _ -> Error msg
+    | Error e, _ -> Error (Printexc.to_string e))
+
+let handle t (req : Protocol.request) : Protocol.response =
+  Telemetry.incr m_requests;
+  Telemetry.timed m_latency (fun () ->
+      match req with
+      | Protocol.Ping -> Protocol.Pong
+      | Protocol.Stats ->
+        Protocol.Stats_json (Telemetry.to_json (Telemetry.snapshot ()))
+      | Protocol.Shutdown -> Protocol.Bye
+      | Protocol.Analyze { source; query } -> (
+        match analyze t ~source query with
+        | Ok report -> Protocol.Report report
+        | Error msg ->
+          Telemetry.incr m_errors;
+          Protocol.Error msg))

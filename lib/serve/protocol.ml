@@ -1,0 +1,208 @@
+module Wire = Fastflip.Wire
+module Hashing = Ff_support.Hashing
+
+type query = {
+  q_target : float;
+  q_bits : int list;
+  q_samples : int;
+  q_epsilon : float;
+  q_prove : bool;
+}
+
+let default_query =
+  { q_target = 0.9; q_bits = []; q_samples = 200; q_epsilon = 0.0; q_prove = true }
+
+type request =
+  | Ping
+  | Analyze of {
+      source : string;
+      query : query;
+    }
+  | Stats
+  | Shutdown
+
+type response =
+  | Pong
+  | Report of string
+  | Stats_json of string
+  | Error of string
+  | Bye
+
+let max_payload = 16 * 1024 * 1024
+
+(* --- value codecs ----------------------------------------------------------- *)
+
+let w_query buf q =
+  Wire.w_float buf q.q_target;
+  Wire.w_list buf Wire.w_int q.q_bits;
+  Wire.w_int buf q.q_samples;
+  Wire.w_float buf q.q_epsilon;
+  Wire.w_int buf (if q.q_prove then 1 else 0)
+
+let r_bool c what =
+  match Wire.r_int c with
+  | 0 -> false
+  | 1 -> true
+  | _ -> raise (Wire.Corrupt ("bad boolean for " ^ what))
+
+let r_query c =
+  let q_target = Wire.r_float c in
+  let q_bits = Wire.r_list c Wire.r_int "query bits" in
+  let q_samples = Wire.r_int c in
+  let q_epsilon = Wire.r_float c in
+  let q_prove = r_bool c "query prove flag" in
+  if not (Float.is_finite q_target) then raise (Wire.Corrupt "non-finite target");
+  if q_samples < 0 then raise (Wire.Corrupt "negative sample count");
+  { q_target; q_bits; q_samples; q_epsilon; q_prove }
+
+let encode_request req =
+  let buf = Buffer.create 256 in
+  (match req with
+  | Ping -> Wire.w_int buf 0
+  | Analyze { source; query } ->
+    Wire.w_int buf 1;
+    Wire.w_string buf source;
+    w_query buf query
+  | Stats -> Wire.w_int buf 2
+  | Shutdown -> Wire.w_int buf 3);
+  Buffer.contents buf
+
+(* NB [Error] below the response type refers to its constructor; results
+   spell Stdlib.Error explicitly. *)
+let finish c v =
+  if Wire.at_end c then Ok v else Stdlib.Error "trailing bytes after message"
+
+let decode_request data =
+  let c = Wire.cursor data in
+  try
+    match Wire.r_int c with
+    | 0 -> finish c Ping
+    | 1 ->
+      let source = Wire.r_string c "program source" in
+      let query = r_query c in
+      finish c (Analyze { source; query })
+    | 2 -> finish c Stats
+    | 3 -> finish c Shutdown
+    | tag -> Stdlib.Error (Printf.sprintf "unknown request tag %d" tag)
+  with Wire.Corrupt msg -> Stdlib.Error msg
+
+let encode_response resp =
+  let buf = Buffer.create 256 in
+  (match resp with
+  | Pong -> Wire.w_int buf 0
+  | Report text ->
+    Wire.w_int buf 1;
+    Wire.w_string buf text
+  | Stats_json text ->
+    Wire.w_int buf 2;
+    Wire.w_string buf text
+  | Error text ->
+    Wire.w_int buf 3;
+    Wire.w_string buf text
+  | Bye -> Wire.w_int buf 4);
+  Buffer.contents buf
+
+let decode_response data =
+  let c = Wire.cursor data in
+  try
+    match Wire.r_int c with
+    | 0 -> finish c Pong
+    | 1 -> finish c (Report (Wire.r_string c "report text"))
+    | 2 -> finish c (Stats_json (Wire.r_string c "stats json"))
+    | 3 -> finish c (Error (Wire.r_string c "error text"))
+    | 4 -> finish c Bye
+    | tag -> Stdlib.Error (Printf.sprintf "unknown response tag %d" tag)
+  with Wire.Corrupt msg -> Stdlib.Error msg
+
+(* --- framed socket transport ------------------------------------------------ *)
+
+(* Mirrors Wire's frame layout: "FRC2" ∥ length ∥ crc32(payload) ∥
+   crc32(header), 28 bytes, then the payload. The socket reader cannot use
+   Wire.read_frames (that wants the whole file in memory); it validates the
+   same invariants incrementally instead. *)
+let frame_marker = "FRC2"
+let frame_header_size = 28
+
+type recv_result =
+  | Frame of string
+  | Closed
+  | Malformed of string
+
+let rec write_all fd bytes pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd bytes pos len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd bytes (pos + n) (len - n)
+  end
+
+let send_frame fd payload =
+  let framed = Bytes.unsafe_of_string (Wire.frame payload) in
+  write_all fd framed 0 (Bytes.length framed)
+
+(* Read exactly [len] bytes. [`Eof n] reports how many arrived first. *)
+let read_exact fd len =
+  let buf = Bytes.create len in
+  let rec go pos =
+    if pos = len then `Exact buf
+    else
+      match Unix.read fd buf pos (len - pos) with
+      | 0 -> `Eof pos
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      (* A peer that resets the connection (e.g. closes with unread data
+         still buffered) is an EOF for framing purposes, not a crash. *)
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> `Eof pos
+  in
+  go 0
+
+let int64_le s pos =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[pos + i]))
+  done;
+  !v
+
+let recv_frame fd =
+  match read_exact fd frame_header_size with
+  | `Eof 0 -> Closed
+  | `Eof _ -> Malformed "EOF inside frame header"
+  | `Exact header ->
+    let header = Bytes.unsafe_to_string header in
+    if not (String.equal (String.sub header 0 4) frame_marker) then
+      Malformed "bad frame marker"
+    else if
+      Hashing.crc32 ~pos:0 ~len:20 header
+      <> Int64.to_int (int64_le header 20)
+    then Malformed "frame header CRC mismatch"
+    else begin
+      let len64 = int64_le header 4 in
+      let payload_crc = Int64.to_int (int64_le header 12) in
+      if Int64.compare len64 0L < 0 || Int64.compare len64 (Int64.of_int max_payload) > 0
+      then Malformed "frame length out of bounds"
+      else
+        let len = Int64.to_int len64 in
+        match read_exact fd len with
+        | `Eof _ -> Malformed "EOF inside frame payload"
+        | `Exact payload ->
+          let payload = Bytes.unsafe_to_string payload in
+          if Hashing.crc32 payload <> payload_crc then
+            Malformed "frame payload CRC mismatch"
+          else Frame payload
+    end
+
+let send_request fd req = send_frame fd (encode_request req)
+let send_response fd resp = send_frame fd (encode_response resp)
+
+let recv_message decode fd =
+  match recv_frame fd with
+  | Frame payload -> (
+    match decode payload with
+    | Ok msg -> Ok msg
+    | Stdlib.Error msg -> Stdlib.Error (`Malformed msg))
+  | Closed -> Stdlib.Error `Closed
+  | Malformed msg -> Stdlib.Error (`Malformed msg)
+
+let recv_request fd = recv_message decode_request fd
+let recv_response fd = recv_message decode_response fd

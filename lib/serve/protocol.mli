@@ -1,0 +1,82 @@
+(** The serve wire protocol: CRC-framed, length-prefixed request/response
+    messages over a Unix domain socket.
+
+    Framing reuses the store's {!Fastflip.Wire} frame format (marker ∥
+    length ∥ crc32(payload) ∥ crc32(header) ∥ payload), read incrementally
+    from the socket: the receiver reads the fixed-size header, validates
+    the marker and the header's own CRC {e before} trusting the declared
+    length, bounds the length by {!max_payload} {e before} allocating, and
+    validates the payload CRC before decoding. Any violation is reported
+    as {!Malformed} — the stream can no longer be trusted, so the one
+    connection must be dropped; the daemon itself never crashes and its
+    warm state is untouched.
+
+    Message payloads use the {!Fastflip.Wire} value codecs; decoders
+    validate tags and lengths and return [Error] rather than raising, and
+    reject trailing bytes. *)
+
+type query = {
+  q_target : float;   (** knapsack target v_trgt in [0,1] *)
+  q_bits : int list;  (** injection bit positions; [] = the default subset *)
+  q_samples : int;    (** sensitivity samples per input *)
+  q_epsilon : float;  (** SDC-Bad threshold ε *)
+  q_prove : bool;     (** static outcome prover pre-pass on/off *)
+}
+
+val default_query : query
+(** The one-shot CLI's defaults: target 0.9, default bits, 200 samples,
+    ε = 0, prover on. *)
+
+type request =
+  | Ping
+  | Analyze of {
+      source : string;  (** kernel-language program text *)
+      query : query;
+    }
+  | Stats  (** telemetry snapshot as JSON *)
+  | Shutdown
+
+type response =
+  | Pong
+  | Report of string      (** byte-identical to the one-shot CLI's stdout *)
+  | Stats_json of string
+  | Error of string       (** per-request failure (compile error, trap) *)
+  | Bye                   (** acknowledged [Shutdown] *)
+
+val max_payload : int
+(** Upper bound on a single frame's payload (16 MiB) — an adversarial or
+    corrupt length prefix can never cause a large allocation. *)
+
+(** {1 Pure codecs} (fuzzable without a socket) *)
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+(** {1 Framed socket transport} *)
+
+type recv_result =
+  | Frame of string        (** one validated payload *)
+  | Closed                 (** clean EOF at a frame boundary *)
+  | Malformed of string    (** bad marker/CRC/length or mid-frame EOF *)
+
+val send_frame : Unix.file_descr -> string -> unit
+(** Frame and write the whole payload ([Unix_error] on a dead peer). *)
+
+val recv_frame : Unix.file_descr -> recv_result
+(** Read exactly one frame. Never raises on malformed input; never
+    allocates more than {!max_payload} + header. *)
+
+val send_request : Unix.file_descr -> request -> unit
+val send_response : Unix.file_descr -> response -> unit
+
+val recv_request :
+  Unix.file_descr -> (request, [ `Closed | `Malformed of string ]) result
+(** [`Closed] is a clean EOF at a frame boundary; [`Malformed] covers a
+    bad frame {e and} a valid frame whose payload fails to decode — in
+    both cases the stream can no longer be trusted and the connection
+    must be dropped. *)
+
+val recv_response :
+  Unix.file_descr -> (response, [ `Closed | `Malformed of string ]) result

@@ -1,0 +1,27 @@
+(** The [fastflip serve] daemon: a Unix-domain-socket server around
+    {!Engine}.
+
+    One accept loop on the calling thread, one lightweight thread per
+    connection (the heavy lifting — campaigns — still runs on the shared
+    domain pool, gated by the engine's slow lane). Shutdown is
+    cooperative: SIGTERM/SIGINT or a [Shutdown] request sets a flag the
+    accept loop polls; in-flight requests are drained (bounded wait), the
+    socket file is removed, and the store — if persistent — is saved with
+    the usual atomic merging {!Fastflip.Persist.save}.
+
+    A malformed or hostile connection (garbage bytes, truncated frames,
+    oversized length prefixes) gets a best-effort [Error] response and is
+    dropped; the daemon itself and its warm state are untouched. *)
+
+val run :
+  socket:string ->
+  ?store_path:string ->
+  ?strict_store:bool ->
+  ?pool:Ff_support.Pool.t ->
+  unit ->
+  unit
+(** Bind [socket] (an existing socket file is replaced), serve until
+    shut down, then clean up. Progress chatter goes to stderr; the
+    "serving on" banner goes to stdout (scripts wait for it). Raises
+    [Unix.Unix_error] if the socket cannot be bound, and exits nonzero
+    via [Failure] if [strict_store] rejects a corrupt store. *)

@@ -45,6 +45,7 @@ let incr c = add c 1
 let value c = Atomic.get c.c_cell
 
 type histogram = {
+  h_volatile : bool;
   h_count : int Atomic.t;
   h_sum : int Atomic.t;
   h_buckets : int Atomic.t array;  (* bucket i holds values of bit-width i *)
@@ -54,7 +55,7 @@ let hist_buckets = 64
 
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
-let histogram name =
+let histogram ?(volatile = false) name =
   Mutex.lock registry_mu;
   let h =
     match Hashtbl.find_opt histograms name with
@@ -62,6 +63,7 @@ let histogram name =
     | None ->
       let h =
         {
+          h_volatile = volatile;
           h_count = Atomic.make 0;
           h_sum = Atomic.make 0;
           h_buckets = Array.init hist_buckets (fun _ -> Atomic.make 0);
@@ -90,6 +92,13 @@ let observe h v =
     ignore (Atomic.fetch_and_add h.h_count 1);
     ignore (Atomic.fetch_and_add h.h_sum v);
     ignore (Atomic.fetch_and_add h.h_buckets.(bucket_index v) 1)
+  end
+
+let timed h f =
+  if not (Atomic.get enabled_cell) then f ()
+  else begin
+    let t0 = now_ns () in
+    Fun.protect ~finally:(fun () -> observe h ((now_ns () - t0) / 1000)) f
   end
 
 (* --- spans --------------------------------------------------------------- *)
@@ -234,6 +243,7 @@ type snapshot = {
   snap_counters : (string * int) list;
   snap_volatile : (string * int) list;
   snap_histograms : (string * hist_snapshot) list;
+  snap_volatile_histograms : (string * hist_snapshot) list;
   snap_spans : (string * span_snapshot) list;
 }
 
@@ -248,9 +258,9 @@ let snapshot () =
         if c.c_volatile then (stable, entry :: volatile) else (entry :: stable, volatile))
       counters ([], [])
   in
-  let hists =
+  let hists, volatile_hists =
     Hashtbl.fold
-      (fun name h acc ->
+      (fun name h (stable, volatile) ->
         let buckets = ref [] in
         for i = hist_buckets - 1 downto 0 do
           let n = Atomic.get h.h_buckets.(i) in
@@ -258,14 +268,17 @@ let snapshot () =
             (* Bucket i holds values of bit-width i: upper bound 2^i - 1. *)
             buckets := ((1 lsl i) - 1, n) :: !buckets
         done;
-        ( name,
-          {
-            hs_count = Atomic.get h.h_count;
-            hs_sum = Atomic.get h.h_sum;
-            hs_buckets = !buckets;
-          } )
-        :: acc)
-      histograms []
+        let entry =
+          ( name,
+            {
+              hs_count = Atomic.get h.h_count;
+              hs_sum = Atomic.get h.h_sum;
+              hs_buckets = !buckets;
+            } )
+        in
+        if h.h_volatile then (stable, entry :: volatile)
+        else (entry :: stable, volatile))
+      histograms ([], [])
   in
   Mutex.unlock registry_mu;
   Mutex.lock span_mu;
@@ -281,6 +294,7 @@ let snapshot () =
     snap_counters = List.sort by_name stable;
     snap_volatile = List.sort by_name volatile;
     snap_histograms = List.sort by_name hists;
+    snap_volatile_histograms = List.sort by_name volatile_hists;
     snap_spans = List.sort by_name spans;
   }
 
@@ -350,6 +364,8 @@ let to_json ?(timings = true) snap =
   if timings then begin
     Buffer.add_string buf ",\n  \"timings\": {\n    \"counters\": ";
     obj buf ~indent:4 snap.snap_volatile int;
+    Buffer.add_string buf ",\n    \"histograms\": ";
+    obj buf ~indent:4 snap.snap_volatile_histograms hist;
     Buffer.add_string buf ",\n    \"spans\": ";
     obj buf ~indent:4 snap.snap_spans (fun s ->
         Buffer.add_string buf "{ \"total_ns\": ";

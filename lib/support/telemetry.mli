@@ -66,11 +66,22 @@ val value : counter -> int
 
 (** {1 Histograms} *)
 
-val histogram : string -> histogram
+val histogram : ?volatile:bool -> string -> histogram
 (** Buckets are powers of two: observation [v] lands in the bucket
-    holding values of its bit-width ([v <= 0] in bucket 0). *)
+    holding values of its bit-width ([v <= 0] in bucket 0). [volatile]
+    marks distributions that legitimately depend on wall-clock or
+    scheduling (request latencies in the serve daemon); they are exported
+    under the [timings] section so the deterministic export stays
+    bit-stable. As with counters, the volatility of an already-interned
+    histogram is not changed by re-interning. *)
 
 val observe : histogram -> int -> unit
+
+val timed : histogram -> (unit -> 'a) -> 'a
+(** [timed h f] runs [f ()] and observes its wall-clock duration in
+    {e microseconds} into [h] (one branch when disabled; records and
+    re-raises on exception). Pair it with a [volatile] histogram — the
+    serve daemon's per-request latency probe. *)
 
 (** {1 Spans} *)
 
@@ -131,6 +142,8 @@ type snapshot = {
   snap_counters : (string * int) list;           (** deterministic, sorted by name *)
   snap_volatile : (string * int) list;           (** scheduling-dependent, sorted *)
   snap_histograms : (string * hist_snapshot) list;
+  snap_volatile_histograms : (string * hist_snapshot) list;
+  (** wall-clock distributions (serve latencies), exported under timings *)
   snap_spans : (string * span_snapshot) list;    (** counts deterministic; durations volatile *)
 }
 

@@ -1,0 +1,143 @@
+#!/bin/sh
+# Bench gate: validate BENCH_*.json artifacts and enforce performance
+# floors, so CI fails loudly when a bench silently degrades instead of
+# uploading a quietly-regressed artifact.
+#
+#   scripts/bench_gate.sh [FILE...]
+#
+# With no arguments, gates every BENCH_*.json present in the repo root
+# that it knows how to check. With arguments, gates exactly those files
+# (each must exist). Checks per file:
+#
+#   BENCH_parallel.json  well-formed, no "identical": false, at least one
+#                        phase with speedup > 1.0
+#   BENCH_vm.json        well-formed, identical engines, campaign
+#                        speedup >= 1.5
+#   BENCH_prune.json     well-formed, all identical, aggregate
+#                        speedup >= 1.0
+#   BENCH_server.json    well-formed, identical responses, warm
+#                        speedup > 1.0
+#
+# Prints one readable line per violation and exits nonzero if any check
+# fails.
+set -u
+
+status=0
+violation() {
+  echo "bench_gate: $1" >&2
+  status=1
+}
+
+# json_num FILE KEY: first numeric value of "KEY": N in FILE, or empty.
+json_num() {
+  sed -n 's/.*"'"$2"'"[[:space:]]*:[[:space:]]*\(-\{0,1\}[0-9][0-9.eE+-]*\).*/\1/p' \
+    "$1" | head -n 1
+}
+
+well_formed() {
+  f=$1
+  if [ ! -s "$f" ]; then
+    violation "$f: missing or empty"
+    return 1
+  fi
+  if ! tail -c 3 "$f" | grep -q '}'; then
+    violation "$f: truncated (does not end in '}')"
+    return 1
+  fi
+  return 0
+}
+
+# require_floor FILE KEY OP FLOOR LABEL: the numeric KEY must exist and
+# satisfy OP (awk comparison) against FLOOR.
+require_floor() {
+  f=$1 key=$2 op=$3 floor=$4 label=$5
+  v=$(json_num "$f" "$key")
+  if [ -z "$v" ]; then
+    violation "$f: malformed, no numeric \"$key\""
+    return
+  fi
+  if ! awk -v v="$v" -v floor="$floor" "BEGIN { exit !(v $op floor) }"; then
+    violation "$f: $label: \"$key\" is $v, floor is $op $floor"
+  fi
+}
+
+require_identical() {
+  f=$1 label=$2
+  if grep -q '"identical": false' "$f"; then
+    violation "$f: $label"
+  fi
+  if ! grep -q '"identical": true' "$f"; then
+    violation "$f: no \"identical\": true recorded"
+  fi
+}
+
+gate_parallel() {
+  f=$1
+  well_formed "$f" || return
+  grep -q '"phases"' "$f" || violation "$f: malformed, no \"phases\" key"
+  grep -q '"tables"' "$f" || violation "$f: malformed, no \"tables\" key"
+  require_identical "$f" "a parallel phase diverged from the serial run"
+  # At least one phase must actually go faster than serial.
+  best=$(sed -n 's/.*"speedup"[[:space:]]*:[[:space:]]*\([0-9][0-9.eE+-]*\).*/\1/p' "$f" |
+    sort -g | tail -n 1)
+  if [ -z "$best" ]; then
+    violation "$f: malformed, no numeric \"speedup\""
+  elif ! awk -v v="$best" "BEGIN { exit !(v > 1.0) }"; then
+    violation "$f: parallel never beats serial: best phase speedup is $best, floor is > 1.0"
+  fi
+}
+
+gate_vm() {
+  f=$1
+  well_formed "$f" || return
+  grep -q '"engines"' "$f" || violation "$f: malformed, no \"engines\" key"
+  require_identical "$f" "unboxed engine diverged from the boxed oracle"
+  require_floor "$f" campaign_speedup ">=" 1.5 "unboxed engine regression"
+}
+
+gate_prune() {
+  f=$1
+  well_formed "$f" || return
+  grep -q '"prune_ratio"' "$f" || violation "$f: malformed, no \"prune_ratio\" key"
+  require_identical "$f" "prover-pruned campaign diverged from full replay"
+  require_floor "$f" aggregate_speedup ">=" 1.0 "prover makes campaigns slower"
+}
+
+gate_server() {
+  f=$1
+  well_formed "$f" || return
+  require_identical "$f" "daemon responses diverged from the one-shot CLI"
+  require_floor "$f" warm_speedup ">" 1.0 "warm daemon state buys nothing"
+  require_floor "$f" throughput_rps ">" 0 "no concurrent throughput recorded"
+}
+
+gate_one() {
+  case $(basename "$1") in
+  BENCH_parallel.json) gate_parallel "$1" ;;
+  BENCH_vm.json) gate_vm "$1" ;;
+  BENCH_prune.json) gate_prune "$1" ;;
+  BENCH_server.json) gate_server "$1" ;;
+  *) violation "$1: no gate known for this file" ;;
+  esac
+}
+
+if [ $# -gt 0 ]; then
+  for f in "$@"; do
+    gate_one "$f"
+  done
+else
+  cd "$(dirname "$0")/.."
+  found=0
+  for f in BENCH_parallel.json BENCH_vm.json BENCH_prune.json BENCH_server.json; do
+    if [ -e "$f" ]; then
+      found=1
+      gate_one "$f"
+    fi
+  done
+  [ "$found" -eq 1 ] || violation "no BENCH_*.json artifacts found to gate"
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "bench_gate: ok (all artifacts well-formed, all floors hold)"
+fi
+exit "$status"

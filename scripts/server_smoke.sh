@@ -1,0 +1,134 @@
+#!/bin/sh
+# Server smoke: start the `fastflip serve` daemon on a throwaway socket,
+# query it from several concurrent clients, and require
+#   - every response byte-identical to the one-shot `fastflip analyze`,
+#   - warm (cached) queries faster than the cold one,
+#   - a clean shutdown on SIGTERM (store saved, socket removed),
+#   - a BENCH_server.json from the bench harness whose warm p50 is at
+#     least 10x below the cold request.
+# Also available as a dune alias: dune build @serve-smoke
+set -eu
+
+fail() {
+  echo "server_smoke.sh: $1" >&2
+  exit 1
+}
+
+if [ -x bin/fastflip_cli.exe ]; then
+  # Invoked by the dune rule: deps are staged in the action directory.
+  FASTFLIP=bin/fastflip_cli.exe
+  BENCH=bench/main.exe
+else
+  # Invoked by hand from a checkout.
+  cd "$(dirname "$0")/.."
+  dune build bin/fastflip_cli.exe bench/main.exe
+  FASTFLIP=_build/default/bin/fastflip_cli.exe
+  BENCH=_build/default/bench/main.exe
+fi
+
+WORK=$(mktemp -d)
+SERVER_PID=
+cleanup() {
+  [ -z "$SERVER_PID" ] || kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+SOCK="$WORK/serve.sock"
+# Enough sensitivity samples that a cold analysis dominates process
+# startup — the warm-vs-cold timing assertion then measures the cache,
+# not exec overhead.
+ARGS="examples/pipeline.ff --samples 8000"
+
+# Millisecond wall-clock (portable enough: GNU date %N, else python3).
+now_ms() {
+  if date +%s%N | grep -qv N; then
+    echo $(($(date +%s%N) / 1000000))
+  else
+    python3 -c 'import time; print(int(time.time() * 1000))'
+  fi
+}
+
+# 1. One-shot reference: what every daemon response must match.
+$FASTFLIP analyze $ARGS >"$WORK/oneshot.out" 2>/dev/null \
+  || fail "one-shot analyze failed"
+
+# 2. Start the daemon and wait for it to listen.
+$FASTFLIP serve "$SOCK" --store "$WORK/serve.store" \
+  >"$WORK/server.out" 2>"$WORK/server.err" &
+SERVER_PID=$!
+tries=0
+while [ ! -S "$SOCK" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || fail "daemon did not create $SOCK within 10s"
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "daemon died on startup"
+  sleep 0.1
+done
+
+# 3. Cold query: the daemon analyzes from scratch; must match one-shot.
+t0=$(now_ms)
+$FASTFLIP query "$SOCK" $ARGS >"$WORK/cold.out" || fail "cold query failed"
+t1=$(now_ms)
+cold_ms=$((t1 - t0))
+diff -u "$WORK/oneshot.out" "$WORK/cold.out" >&2 \
+  || fail "cold daemon response differs from one-shot analyze"
+
+# 4. Four concurrent clients, same request: all must match byte-for-byte
+#    (the warm cache and request coalescing may not perturb the bytes).
+t0=$(now_ms)
+pids=
+for i in 1 2 3 4; do
+  $FASTFLIP query "$SOCK" $ARGS >"$WORK/client$i.out" &
+  pids="$pids $!"
+done
+for pid in $pids; do
+  wait "$pid" || fail "a concurrent client failed"
+done
+t1=$(now_ms)
+warm4_ms=$((t1 - t0))
+for i in 1 2 3 4; do
+  diff -u "$WORK/oneshot.out" "$WORK/client$i.out" >&2 \
+    || fail "concurrent client $i response differs from one-shot analyze"
+done
+
+# 5. Warm state must actually buy something: 4 warm queries together must
+#    finish faster than the single cold one (in practice ~50x faster).
+[ "$warm4_ms" -lt "$cold_ms" ] \
+  || fail "4 warm queries (${warm4_ms}ms) not faster than 1 cold query (${cold_ms}ms)"
+
+# 6. Clean SIGTERM shutdown: daemon saves its store, removes the socket,
+#    and exits 0.
+kill -TERM "$SERVER_PID"
+tries=0
+while kill -0 "$SERVER_PID" 2>/dev/null; do
+  tries=$((tries + 1))
+  [ "$tries" -le 150 ] || fail "daemon did not exit within 15s of SIGTERM"
+  sleep 0.1
+done
+wait "$SERVER_PID" && server_status=0 || server_status=$?
+SERVER_PID=
+[ "$server_status" -eq 0 ] || fail "daemon exited nonzero ($server_status) on SIGTERM"
+grep -q "shut down cleanly" "$WORK/server.out" || fail "daemon did not report a clean shutdown"
+[ ! -e "$SOCK" ] || fail "daemon left its socket behind"
+[ -s "$WORK/serve.store" ] || fail "daemon did not save its store on shutdown"
+
+# 7. Bench artifact: honest cold/warm numbers over the same transport,
+#    gated at a 10x warm win (measured ~50x).
+ROOT=$(pwd)
+(cd "$WORK" && FF_DOMAINS=2 "$ROOT/$BENCH" quick server >bench.out 2>&1) \
+  || { cat "$WORK/bench.out" >&2; fail "bench server artifact failed"; }
+mv "$WORK/BENCH_server.json" BENCH_server.json
+scripts/bench_gate.sh BENCH_server.json || fail "bench gate rejected BENCH_server.json"
+awk '
+  /"cold_ms"/ { gsub(/[^0-9.]/, "", $2); cold = $2 + 0 }
+  /"warm_p50_ms"/ { gsub(/[^0-9.]/, "", $2); warm = $2 + 0 }
+  END {
+    if (cold <= 0 || warm <= 0) { print "missing latencies"; exit 1 }
+    if (cold < 10 * warm) {
+      printf "warm p50 %.3fms not 10x below cold %.3fms\n", warm, cold
+      exit 1
+    }
+  }
+' BENCH_server.json || fail "BENCH_server.json warm p50 not >=10x below cold"
+
+echo "server smoke: OK (cold ${cold_ms}ms, 4 warm clients ${warm4_ms}ms, byte-identical, clean SIGTERM)"
