@@ -9,7 +9,9 @@
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks only
      dune exec bench/main.exe -- quick        # tables on a 4-bit subset (fast)
      dune exec bench/main.exe -- parallel     # serial-vs-parallel wall-clock
+     dune exec bench/main.exe -- store        # sharded-store save latency
      dune exec bench/main.exe -- quick --metrics mx.json   # telemetry export
+     dune exec bench/main.exe -- quick table3 --store s.bin  # persistent store
 
    Campaigns and sensitivity sampling run on FF_DOMAINS domains (default:
    the recommended domain count); every artifact is bit-identical to the
@@ -45,6 +47,12 @@ let wall f =
 (* The shared campaign pool: FF_DOMAINS wide, created on first use. *)
 let pool = lazy (Pool.create ~domains:(Pool.default_domains ()))
 
+(* --store FILE: one persistent incremental store shared by every
+   harness analysis in this invocation (loaded before the first
+   artifact, saved after the last), so repeat bench runs reuse stored
+   campaigns exactly like the CLI does. *)
+let shared_store : Fastflip.Store.t option ref = ref None
+
 let cached_runs : (string, Ff_harness.Experiments.benchmark_run) Hashtbl.t =
   Hashtbl.create 8
 
@@ -56,7 +64,8 @@ let run_for config bench =
       timed
         (Printf.sprintf "analyzed %s (3 versions, FastFlip + baseline)" bench.Defs.name)
         (fun () ->
-          Ff_harness.Experiments.run_benchmark ~config ~pool:(Lazy.force pool) bench)
+          Ff_harness.Experiments.run_benchmark ~config ~pool:(Lazy.force pool)
+            ?store:!shared_store bench)
     in
     Hashtbl.replace cached_runs bench.Defs.name run;
     run
@@ -698,6 +707,279 @@ let emit_server_json () =
     Printf.printf "wrote BENCH_server.json (warm speedup %.0fx, %.0f req/s)\n%!"
       (sv_speedup r) r.sv_throughput_rps
 
+(* --- sharded store: O(dirty) saves, parallel writers --------------------- *)
+
+type store_result = {
+  so_records : int;
+  so_dirty : int;
+  so_incremental_s : float;
+  so_full_s : float;
+  so_writer_saves : int;
+  so_writer_batch : int;
+  so_serial_s : float;
+  so_parallel_s : float;
+  so_saves_expected : int;
+  so_saves_counted : int;
+  so_identical : bool;
+}
+
+let store_result : store_result option ref = ref None
+
+let so_speedup r =
+  if r.so_incremental_s > 0.0 then r.so_full_s /. r.so_incremental_s else 0.0
+
+let so_scaling r =
+  if r.so_parallel_s > 0.0 then r.so_serial_s /. r.so_parallel_s else 0.0
+
+let print_store config =
+  let module Store = Fastflip.Store in
+  let module Persist = Fastflip.Persist in
+  (* One real quick-config record, cloned under synthetic keys: the
+     persistence layer sees realistic record bytes at service-scale
+     store size without paying for thousands of campaigns. *)
+  let bench = Option.get (Registry.find "LUD") in
+  let program = Ff_lang.Frontend.compile_exn (bench.Defs.source Defs.V_none) in
+  let proto_store = Store.create () in
+  let _ = Pipeline.analyze ~store:proto_store config program in
+  let proto = List.hd (Store.records proto_store) in
+  let mk i =
+    {
+      proto with
+      Store.rec_key =
+        {
+          Store.code_hash = Int64.of_int (0x9e37 + (i * 257));
+          input_hash = Int64.of_int (0xace1 + (i * 13));
+          config_hash = 7L;
+        };
+    }
+  in
+  (* Records are real analysis output (~100s of KB each), so the store
+     sizes here are small in record count but service-scale in bytes. *)
+  let n = 256 and dirty = 4 in
+  let base =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ff_bench_store_%d" (Unix.getpid ()))
+  in
+  let cleanup path =
+    (try Sys.remove path with Sys_error _ -> ());
+    (try Sys.remove (path ^ ".lock") with Sys_error _ -> ());
+    for i = 0 to Persist.max_shards - 1 do
+      let sp = Persist.shard_path path i in
+      (try Sys.remove sp with Sys_error _ -> ());
+      (try Sys.remove (sp ^ ".lock") with Sys_error _ -> ())
+    done
+  in
+  (* Every save below is also counted by the persistence layer's own
+     telemetry; the JSON asserts the counter moved in step with the
+     saves actually performed. *)
+  let was_enabled = Telemetry.enabled () in
+  Telemetry.set_enabled true;
+  let m_saves = Telemetry.counter "persist.saves" in
+  let saves0 = Telemetry.value m_saves in
+  let saves_expected = Atomic.make 0 in
+  let save st path =
+    Atomic.incr saves_expected;
+    Persist.save st ~path
+  in
+  (* O(dirty): an incremental save of [dirty] changed records into an
+     [n]-record store, vs the monolithic FFSTORE2 full rewrite the old
+     format paid on every checkpoint of the same store. *)
+  let opath = base ^ ".odirty.bin" in
+  cleanup opath;
+  let st = Store.create () in
+  for i = 0 to n - 1 do
+    Store.add st (mk i)
+  done;
+  ignore (save st opath);
+  let reps = 7 in
+  let best_incremental = ref infinity in
+  for r = 1 to reps do
+    (* Replace [dirty] existing keys, so the store size stays [n]. *)
+    for i = 0 to dirty - 1 do
+      Store.add st (mk ((r * dirty) + i))
+    done;
+    let (), s = wall (fun () -> ignore (save st opath)) in
+    if s < !best_incremental then best_incremental := s
+  done;
+  let fpath = base ^ ".full.bin" in
+  let best_full = ref infinity in
+  for _ = 1 to reps do
+    let (), s = wall (fun () -> Persist.save_legacy_v2 st ~path:fpath) in
+    if s < !best_full then best_full := s
+  done;
+  (* The delta log must still read back bit-identically. *)
+  let identical =
+    match Persist.load ~path:opath with
+    | Error _ -> false
+    | Ok (loaded, skipped) ->
+      skipped = 0
+      && Store.size loaded = n
+      && List.for_all
+           (fun (r : Store.section_record) ->
+             match Store.find loaded r.Store.rec_key with
+             | Some found -> Persist.roundtrip_equal r found
+             | None -> false)
+           (Store.records st)
+  in
+  (* Two writers on disjoint shards: writer A's keys hash to the lower
+     half of the default layout, writer B's to the upper half, so the
+     per-shard locks never collide; each performs [saves] incremental
+     saves of [batch] fresh records against a pre-seeded [n]-record
+     store, serially and then from two domains at once. *)
+  let saves = 12 and batch = 4 in
+  let a_pool, b_pool =
+    let need = saves * batch in
+    let a = ref [] and b = ref [] and na = ref 0 and nb = ref 0 and i = ref 100000 in
+    while !na < need || !nb < need do
+      let r = mk !i in
+      incr i;
+      if Persist.shard_of ~shards:Persist.default_shards r.Store.rec_key
+         < Persist.default_shards / 2
+      then begin
+        if !na < need then begin a := r :: !a; incr na end
+      end
+      else if !nb < need then begin b := r :: !b; incr nb end
+    done;
+    (!a, !b)
+  in
+  let batches records =
+    let rec take k rs =
+      if k = 0 then ([], rs)
+      else
+        match rs with
+        | [] -> ([], [])
+        | x :: rest ->
+          let t, d = take (k - 1) rest in
+          (x :: t, d)
+    in
+    let rec go rs =
+      match rs with
+      | [] -> []
+      | _ ->
+        let b, rest = take batch rs in
+        b :: go rest
+    in
+    go records
+  in
+  let a_batches = batches a_pool and b_batches = batches b_pool in
+  let seed path =
+    cleanup path;
+    let s = Store.create () in
+    for i = 0 to n - 1 do
+      Store.add s (mk i)
+    done;
+    ignore (save s path)
+  in
+  (* Writers start from a loaded copy of the seed store, as a real
+     process would — their in-memory view covers the disk, so saves stay
+     pure appends. *)
+  let prep path =
+    match Persist.load ~path with
+    | Ok (st, _) -> st
+    | Error e -> failwith ("store bench: reload failed: " ^ e)
+  in
+  let writer st bs path () =
+    List.iter
+      (fun b ->
+        List.iter (Store.add st) b;
+        ignore (save st path))
+      bs
+  in
+  let wreps = 3 in
+  let best_serial = ref infinity and best_parallel = ref infinity in
+  for _ = 1 to wreps do
+    let spath = base ^ ".serial.bin" and ppath = base ^ ".parallel.bin" in
+    seed spath;
+    seed ppath;
+    let sa = prep spath and sb = prep spath in
+    let (), s =
+      wall (fun () ->
+          writer sa a_batches spath ();
+          writer sb b_batches spath ())
+    in
+    if s < !best_serial then best_serial := s;
+    let pa = prep ppath and pb = prep ppath in
+    let (), p =
+      wall (fun () ->
+          let da = Domain.spawn (writer pa a_batches ppath) in
+          let db = Domain.spawn (writer pb b_batches ppath) in
+          Domain.join da;
+          Domain.join db)
+    in
+    if p < !best_parallel then best_parallel := p;
+    cleanup spath;
+    cleanup ppath
+  done;
+  cleanup opath;
+  (try Sys.remove fpath with Sys_error _ -> ());
+  let saves_counted = Telemetry.value m_saves - saves0 in
+  Telemetry.set_enabled was_enabled;
+  let r =
+    {
+      so_records = n;
+      so_dirty = dirty;
+      so_incremental_s = !best_incremental;
+      so_full_s = !best_full;
+      so_writer_saves = saves;
+      so_writer_batch = batch;
+      so_serial_s = !best_serial;
+      so_parallel_s = !best_parallel;
+      so_saves_expected = Atomic.get saves_expected;
+      so_saves_counted = saves_counted;
+      so_identical = identical;
+    }
+  in
+  store_result := Some r;
+  let t =
+    Ff_support.Table.create
+      ~title:
+        (Printf.sprintf
+           "sharded store: %d records, %d dirty, 2 writers x %d saves of %d" n dirty
+           saves batch)
+      [ ("Metric", Ff_support.Table.Left); ("Value", Ff_support.Table.Right) ]
+  in
+  List.iter
+    (fun row -> Ff_support.Table.add_row t row)
+    [
+      [ "incremental save ms"; Printf.sprintf "%.3f" (r.so_incremental_s *. 1e3) ];
+      [ "full rewrite ms"; Printf.sprintf "%.3f" (r.so_full_s *. 1e3) ];
+      [ "O(dirty) speedup"; Printf.sprintf "%.1fx" (so_speedup r) ];
+      [ "2 writers serial s"; Printf.sprintf "%.3f" r.so_serial_s ];
+      [ "2 writers parallel s"; Printf.sprintf "%.3f" r.so_parallel_s ];
+      [ "writer scaling"; Printf.sprintf "%.2fx" (so_scaling r) ];
+      [ "saves counted"; Printf.sprintf "%d/%d" r.so_saves_counted r.so_saves_expected ];
+      [ "roundtrip identical"; string_of_bool r.so_identical ];
+    ];
+  Ff_support.Table.print t;
+  if not r.so_identical then begin
+    prerr_endline "FATAL: sharded store did not read back bit-identically";
+    exit 1
+  end;
+  if r.so_saves_counted < r.so_saves_expected then begin
+    prerr_endline "FATAL: persist.saves telemetry undercounted the saves performed";
+    exit 1
+  end
+
+let emit_store_json () =
+  match !store_result with
+  | None -> ()
+  | Some r ->
+    let oc = open_out "BENCH_store.json" in
+    Printf.fprintf oc
+      "{\n  \"records\": %d,\n  \"dirty\": %d,\n  \"incremental_save_s\": %.6f,\n  \
+       \"full_rewrite_s\": %.6f,\n  \"odirty_speedup\": %.3f,\n  \"writers\": 2,\n  \
+       \"cores\": %d,\n  \
+       \"writer_saves\": %d,\n  \"writer_batch\": %d,\n  \"serial_s\": %.6f,\n  \
+       \"parallel_s\": %.6f,\n  \"writer_scaling\": %.3f,\n  \"saves_expected\": %d,\n  \
+       \"saves_counted\": %d,\n  \"identical\": %b\n}\n"
+      r.so_records r.so_dirty r.so_incremental_s r.so_full_s (so_speedup r)
+      (Domain.recommended_domain_count ())
+      r.so_writer_saves r.so_writer_batch r.so_serial_s r.so_parallel_s
+      (so_scaling r) r.so_saves_expected r.so_saves_counted r.so_identical;
+    close_out oc;
+    Printf.printf "wrote BENCH_store.json (O(dirty) speedup %.1fx, writer scaling %.2fx)\n%!"
+      (so_speedup r) (so_scaling r)
+
 (* --- Bechamel micro-benchmarks ----------------------------------------- *)
 
 let micro () =
@@ -776,29 +1058,48 @@ let artifacts =
     ("vm", print_vm);
     ("prune", print_prune);
     ("server", print_server);
+    ("store", print_store);
   ]
 
 let run_artifact config name f =
   let (), s = wall (fun () -> f config) in
   table_timings := !table_timings @ [ (name, s) ]
 
-(* --metrics FILE: enable the telemetry registry for the whole run and
-   export it as JSON at exit. *)
-let rec split_metrics = function
+(* --metrics FILE enables the telemetry registry for the whole run and
+   exports it as JSON at exit; --store FILE makes every harness analysis
+   share one persistent incremental store. *)
+let rec split_opt name = function
   | [] -> (None, [])
-  | "--metrics" :: path :: rest ->
-    let _, others = split_metrics rest in
-    (Some path, others)
+  | flag :: value :: rest when String.equal flag name ->
+    let _, others = split_opt name rest in
+    (Some value, others)
   | arg :: rest ->
-    let metrics, others = split_metrics rest in
-    (metrics, arg :: others)
+    let v, others = split_opt name rest in
+    (v, arg :: others)
 
 let () =
-  let metrics, args = split_metrics (Array.to_list Sys.argv |> List.tl) in
+  let argv = Array.to_list Sys.argv |> List.tl in
+  let metrics, argv = split_opt "--metrics" argv in
+  let store_path, args = split_opt "--store" argv in
   (match metrics with
   | Some _ ->
     Telemetry.reset ();
     Telemetry.set_enabled true
+  | None -> ());
+  (match store_path with
+  | Some path when Fastflip.Persist.present ~path -> (
+    match Fastflip.Persist.load ~path with
+    | Ok (st, skipped) ->
+      if skipped > 0 then
+        Printf.eprintf "warning: store %s: skipped %d corrupt record(s)\n%!" path
+          skipped;
+      Printf.printf "store: loaded %d record(s) from %s\n%!"
+        (Fastflip.Store.size st) path;
+      shared_store := Some st
+    | Error e ->
+      Printf.eprintf "ignoring store %s: %s\n%!" path e;
+      shared_store := Some (Fastflip.Store.create ()))
+  | Some _ -> shared_store := Some (Fastflip.Store.create ())
   | None -> ());
   let quick = List.mem "quick" args in
   let config = if quick then quick_config else Pipeline.default_config in
@@ -825,6 +1126,15 @@ let () =
   emit_vm_json ();
   emit_prune_json ();
   emit_server_json ();
+  emit_store_json ();
+  (* The shared store's save-on-exit runs before the metrics export, so
+     a --store run's persist.saves counter lands in the JSON. *)
+  (match (store_path, !shared_store) with
+  | Some path, Some st ->
+    let stats = Fastflip.Persist.save st ~path in
+    Printf.printf "store: saved %d record(s) to %s (%d appended)\n%!"
+      stats.Fastflip.Persist.sv_live path stats.Fastflip.Persist.sv_appended
+  | _ -> ());
   (match metrics with
   | Some path ->
     Telemetry.write ~path ();

@@ -19,17 +19,17 @@ fail() {
 
 dune build bench/main.exe
 
-rm -f BENCH_parallel.json BENCH_vm.json BENCH_prune.json
-FF_DOMAINS=2 dune exec bench/main.exe -- quick parallel table3 vm prune \
+rm -f BENCH_parallel.json BENCH_vm.json BENCH_prune.json BENCH_store.json
+FF_DOMAINS=2 dune exec bench/main.exe -- quick parallel table3 vm prune store \
   --metrics BENCH_metrics.json
 
 # Artifact validity and performance floors live in one place: the gate.
 sh scripts/bench_gate.sh BENCH_parallel.json BENCH_vm.json BENCH_prune.json \
-  || fail "bench gate rejected an artifact"
+  BENCH_store.json || fail "bench gate rejected an artifact"
 
 # The telemetry export is not a bench result, so the gate does not own it.
 [ -s BENCH_metrics.json ] || fail "BENCH_metrics.json missing or empty"
 grep -q '"campaign.injections"' BENCH_metrics.json || fail "BENCH_metrics.json malformed: no campaign counters"
 grep -q '"prover.classes_proved"' BENCH_metrics.json || fail "BENCH_metrics.json malformed: no prover counters"
 
-echo "bench/smoke.sh: ok (parallel + engine + prover results identical, gate floors hold)"
+echo "bench/smoke.sh: ok (parallel + engine + prover + store results identical, gate floors hold)"

@@ -11,7 +11,9 @@
      list                 list the built-in benchmarks
      serve    <socket>    analysis-as-a-service daemon with warm state
      query    <socket> <file>   analyze via a running daemon
-     shutdown <socket>    stop a running daemon cleanly *)
+     shutdown <socket>    stop a running daemon cleanly
+     store stat    <path> inspect a persistent store's layout and health
+     store compact <path> rewrite a store down to its live records *)
 
 open Cmdliner
 module Pipeline = Fastflip.Pipeline
@@ -103,14 +105,21 @@ let strict_store_arg =
   Arg.(value & flag & info [ "strict-store" ]
          ~doc:"Refuse to run if the store has corrupt or unreadable records               (the default salvages every intact record and warns).")
 
-let with_store ~strict store_path k =
+let shards_arg =
+  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N"
+         ~doc:"Shard count when $(b,--store) creates a fresh store (default 16).               An existing store keeps its on-disk layout regardless; reshard               with $(b,fastflip store compact --shards).")
+
+(* Loading through [load_v] keeps the store's generation so the save can
+   prove it has already seen everything on disk — over a legacy v1/v2
+   file that skips the merge re-read the migration would otherwise pay. *)
+let with_store ~strict ?shards store_path k =
   match store_path with
   | None -> k (Fastflip.Store.create ())
   | Some path ->
-    let store =
-      if Sys.file_exists path then begin
-        match Fastflip.Persist.load ~path with
-        | Ok (store, skipped) ->
+    let store, generation =
+      if Fastflip.Persist.present ~path then begin
+        match Fastflip.Persist.load_v ~path with
+        | Ok (store, skipped, generation) ->
           if skipped > 0 then begin
             if strict then begin
               Printf.eprintf "fastflip: store %s: %d corrupt record(s) refused by --strict-store\n"
@@ -120,20 +129,20 @@ let with_store ~strict store_path k =
             Printf.eprintf "warning: store %s: skipped %d corrupt record(s)\n" path skipped
           end;
           Printf.printf "loaded %d section records from %s\n" (Fastflip.Store.size store) path;
-          store
+          (store, Some generation)
         | Error e ->
           if strict then begin
             Printf.eprintf "fastflip: store %s refused by --strict-store: %s\n" path e;
             exit 1
           end;
           Printf.eprintf "ignoring store %s: %s\n" path e;
-          Fastflip.Store.create ()
+          (Fastflip.Store.create (), None)
       end
-      else Fastflip.Store.create ()
+      else (Fastflip.Store.create (), None)
     in
     let result = k store in
-    let saved = Fastflip.Persist.save store ~path in
-    Printf.printf "saved %d section records to %s\n" saved path;
+    let stats = Fastflip.Persist.save ?known_generation:generation ?shards store ~path in
+    Printf.printf "saved %d section records to %s\n" stats.Fastflip.Persist.sv_live path;
     result
 
 let checkpoint_every_arg =
@@ -217,15 +226,15 @@ let run_cmd =
 (* --- analyze ---------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run path target bits samples epsilon store_path strict jobs metrics every resume
-      no_prove =
+  let run path target bits samples epsilon store_path strict shards jobs metrics every
+      resume no_prove =
     let config = config_of ~epsilon ~bits ~samples ~no_prove () in
     let program = compile_file path in
     let analysis =
       with_metrics metrics (fun () ->
           with_jobs jobs (fun pool ->
               with_checkpoint ~store_path ~every ~resume (fun checkpoint ->
-                  with_store ~strict store_path (fun store ->
+                  with_store ~strict ?shards store_path (fun store ->
                       Pipeline.analyze ~store ~pool ?checkpoint config program))))
     in
     print_string (Ff_serve.Report.analysis ~target analysis)
@@ -233,7 +242,7 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the full FastFlip analysis on a program and print the selection.")
-    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ store_arg $ strict_store_arg $ jobs_arg $ metrics_arg $ checkpoint_every_arg $ resume_arg $ no_prove_arg)
+    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ store_arg $ strict_store_arg $ shards_arg $ jobs_arg $ metrics_arg $ checkpoint_every_arg $ resume_arg $ no_prove_arg)
 
 (* --- compare ----------------------------------------------------------------- *)
 
@@ -319,11 +328,18 @@ let socket_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SOCKET"
          ~doc:"Unix domain socket path the daemon listens on.")
 
+let save_every_arg =
+  Arg.(value & opt float 0.0 & info [ "save-every" ] ~docv:"SECONDS"
+         ~doc:"Checkpoint the store to disk every $(docv) seconds while serving               (requires $(b,--store)). Each checkpoint appends only the records               published since the last save, so a killed daemon loses at most               one interval of results. 0 (the default) saves only on exit.")
+
 let serve_cmd =
-  let run socket store_path strict jobs metrics =
+  let run socket store_path strict shards save_every jobs metrics =
+    let save_every = if save_every > 0.0 then Some save_every else None in
     with_metrics metrics (fun () ->
         with_jobs jobs (fun pool ->
-            try Ff_serve.Server.run ~socket ?store_path ~strict_store:strict ~pool ()
+            try
+              Ff_serve.Server.run ~socket ?store_path ~strict_store:strict ?save_every
+                ?shards ~pool ()
             with Failure msg ->
               Printf.eprintf "fastflip: %s\n" msg;
               exit 1))
@@ -331,7 +347,7 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the analysis-as-a-service daemon: accept analyze requests from               many concurrent clients over $(docv), keeping decoded kernels,               golden traces, workspace plans, and the store hot across requests.               Responses are byte-identical to the one-shot $(b,analyze) command.               Stop with SIGTERM/SIGINT or the $(b,shutdown) subcommand.")
-    Term.(const run $ socket_arg $ store_arg $ strict_store_arg $ jobs_arg $ metrics_arg)
+    Term.(const run $ socket_arg $ store_arg $ strict_store_arg $ shards_arg $ save_every_arg $ jobs_arg $ metrics_arg)
 
 let query_cmd =
   let file_pos1_arg =
@@ -381,6 +397,73 @@ let shutdown_cmd =
     (Cmd.info "shutdown" ~doc:"Stop a running $(b,serve) daemon cleanly (it saves               its store and removes the socket before exiting).")
     Term.(const run $ socket_arg)
 
+(* --- store stat / compact ------------------------------------------------------- *)
+
+let store_pos_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH"
+         ~doc:"Persistent analysis store path (as passed to --store).")
+
+let store_stat_cmd =
+  let run path =
+    let open Fastflip.Persist in
+    match stat ~path with
+    | Error e ->
+      Printf.eprintf "fastflip: %s: %s\n" path e;
+      exit 1
+    | Ok info ->
+      Printf.printf "format:     %s\n" info.st_format;
+      Printf.printf "shards:     %d\n" info.st_shards;
+      Printf.printf "generation: %Ld\n" info.st_generation;
+      Printf.printf "records:    %d live, %d dead frame(s)\n" info.st_live info.st_dead;
+      Printf.printf "bytes:      %d\n" info.st_bytes;
+      if info.st_skipped > 0 then
+        Printf.printf "skipped:    %d corrupt record(s)/region(s)\n" info.st_skipped;
+      if String.equal info.st_format "FFSTORE3" then begin
+        let t =
+          Table.create ~title:"shard logs"
+            [
+              ("Shard", Table.Left); ("Frames", Table.Right); ("Live", Table.Right);
+              ("Bytes", Table.Right); ("Skipped", Table.Right);
+            ]
+        in
+        List.iter
+          (fun s ->
+            Table.add_row t
+              [
+                Printf.sprintf "s%02d" s.sh_index; string_of_int s.sh_frames;
+                string_of_int s.sh_live; string_of_int s.sh_bytes;
+                string_of_int s.sh_skipped;
+              ])
+          info.st_per_shard;
+        Table.print t
+      end
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:"Inspect a store without locking it: format, shard layout, generation,               live vs dead (superseded) records, and any corruption found.")
+    Term.(const run $ store_pos_arg)
+
+let store_compact_cmd =
+  let run path shards =
+    let open Fastflip.Persist in
+    match compact ?shards ~path () with
+    | Error e ->
+      Printf.eprintf "fastflip: %s: %s\n" path e;
+      exit 1
+    | Ok c ->
+      Printf.printf "compacted %s: %d live record(s), %d dead frame(s) dropped, %d shard(s), generation %Ld\n"
+        path c.cp_live c.cp_dropped c.cp_shards c.cp_generation
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:"Rewrite a store down to its live records under the shard locks.               $(b,--shards) reshards to a new layout width; a legacy               FFSTORE1/FFSTORE2 file is migrated to the sharded FFSTORE3 layout.")
+    Term.(const run $ store_pos_arg $ shards_arg)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store" ~doc:"Inspect and maintain a persistent analysis store.")
+    [ store_stat_cmd; store_compact_cmd ]
+
 (* --- list ---------------------------------------------------------------------- *)
 
 let list_cmd =
@@ -403,5 +486,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; run_cmd; analyze_cmd; compare_cmd; bench_cmd; list_cmd;
-            serve_cmd; query_cmd; shutdown_cmd;
+            serve_cmd; query_cmd; shutdown_cmd; store_cmd;
           ]))

@@ -1,15 +1,31 @@
 module Telemetry = Ff_support.Telemetry
+module Hashing = Ff_support.Hashing
 
 (* Salvage and write-path telemetry: how often the store survives a
-   corrupt file, and how much it loses when it does. *)
+   corrupt file, how much it loses when it does, and how much work the
+   sharded write path avoids. *)
 let m_saves = Telemetry.counter "persist.saves"
 let m_merged = Telemetry.counter "persist.saves.merged_records"
 let m_loads = Telemetry.counter "persist.loads"
 let m_loaded = Telemetry.counter "persist.records_loaded"
 let m_skipped = Telemetry.counter "persist.records_skipped"
+let m_appends = Telemetry.counter "persist.appends"
+let m_appended = Telemetry.counter "persist.records_appended"
+let m_compactions = Telemetry.counter "persist.compactions"
+let m_migrations = Telemetry.counter "persist.migrations"
+let m_gen_skips = Telemetry.counter "persist.merge_loads_skipped"
 
+let magic_v3 = "FFSTORE3"
 let magic_v2 = "FFSTORE2"
 let magic_v1 = "FFSTORE1"
+let magic_shard = "FFSHARD1"
+let default_shards = 16
+let max_shards = 64
+
+(* A shard log is compacted during a save once it holds at least this
+   many frames and more than twice as many as the records believed live
+   in it (dead-record ratio > 1/2). *)
+let compact_min_frames = 8
 
 (* --- file primitives -------------------------------------------------------- *)
 
@@ -26,10 +42,29 @@ let read_file path =
      surfaces as End_of_file, not Sys_error — fail cleanly, don't leak. *)
   | exception End_of_file -> Error (path ^ ": truncated while reading")
 
+(* First [n] bytes of [path] (fewer if the file is shorter) — enough to
+   classify a store format without reading a possibly-huge legacy file. *)
+let read_prefix path n =
+  match Unix.openfile path [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error e
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let b = Bytes.create n in
+        let rec go off =
+          if off >= n then off
+          else
+            match Unix.read fd b off (n - off) with
+            | 0 -> off
+            | k -> go (off + k)
+        in
+        Ok (Bytes.sub_string b 0 (go 0)))
+
 (* Crash-safe replacement: write a sibling temp file, fsync it, then
-   rename over the target. Readers see either the old store or the new
+   rename over the target. Readers see either the old file or the new
    one, never a half-written hybrid; a crash mid-save leaves the previous
-   store untouched. *)
+   contents untouched. *)
 let write_atomic ~path data =
   let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644 in
@@ -55,21 +90,262 @@ let write_atomic ~path data =
     Unix.close dirfd
   | exception Unix.Unix_error _ -> ()
 
-(* Advisory writer lock ([path].lock): two concurrent fastflip processes
-   saving to the same store serialize here, and because [save] re-reads
-   and merges under the lock, the second writer folds the first writer's
-   records in instead of clobbering them. *)
-let with_lock ~path f =
-  let fd = Unix.openfile (path ^ ".lock") [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
-      Unix.close fd)
-    (fun () ->
-      Unix.lockf fd Unix.F_LOCK 0;
-      f ())
+(* --- locks ------------------------------------------------------------------- *)
 
-(* --- load ------------------------------------------------------------------- *)
+(* POSIX record locks ([lockf]) exclude other processes but not other
+   threads or domains of this process, so every file lock is paired with
+   an in-process mutex from a registry keyed by lock-file path.
+
+   Lock order, everywhere: shard locks in ascending index order first,
+   then the manifest lock ([path].lock). No code path acquires a shard
+   lock while holding the manifest lock, so writers cannot deadlock. *)
+let lock_registry : (string, Mutex.t) Hashtbl.t = Hashtbl.create 16
+let registry_mu = Mutex.create ()
+
+let mutex_for lockfile =
+  Mutex.lock registry_mu;
+  let mu =
+    match Hashtbl.find_opt lock_registry lockfile with
+    | Some mu -> mu
+    | None ->
+      let mu = Mutex.create () in
+      Hashtbl.add lock_registry lockfile mu;
+      mu
+  in
+  Mutex.unlock registry_mu;
+  mu
+
+let with_lock ~lockfile f =
+  let mu = mutex_for lockfile in
+  Mutex.lock mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mu)
+    (fun () ->
+      let fd = Unix.openfile lockfile [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644 in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+          Unix.close fd)
+        (fun () ->
+          Unix.lockf fd Unix.F_LOCK 0;
+          f ()))
+
+let rec with_locks lockfiles f =
+  match lockfiles with
+  | [] -> f ()
+  | lockfile :: rest -> with_lock ~lockfile (fun () -> with_locks rest f)
+
+(* --- layout ------------------------------------------------------------------ *)
+
+let shard_path path i = Printf.sprintf "%s.s%02d" path i
+let shard_lockfile path i = shard_path path i ^ ".lock"
+
+let shard_of ~shards (key : Store.key) =
+  let h = Hashing.create () in
+  Hashing.add_int64 h key.Store.code_hash;
+  Hashing.add_int64 h key.Store.input_hash;
+  Hashing.add_int64 h key.Store.config_hash;
+  Int64.to_int (Hashing.value h) land max_int mod shards
+
+let check_shards who shards =
+  if shards < 1 || shards > max_shards then
+    invalid_arg (Printf.sprintf "%s: shard count %d outside [1, %d]" who shards max_shards)
+
+let has_magic data magic =
+  String.length data >= String.length magic
+  && String.equal (String.sub data 0 (String.length magic)) magic
+
+type disk_format = D_v3 | D_v2 | D_v1 | D_missing | D_other
+
+let classify path =
+  match read_prefix path 8 with
+  | Error Unix.ENOENT -> D_missing
+  | Error _ -> D_other
+  | Ok m when String.equal m magic_v3 -> D_v3
+  | Ok m when String.equal m magic_v2 -> D_v2
+  | Ok m when String.equal m magic_v1 -> D_v1
+  | Ok _ -> D_other
+
+(* The manifest (the file at [path] itself): magic, then one CRC frame
+   declaring the layout width, a generation counter bumped by every
+   content-changing save, and the record-frame count of each shard log.
+   The declared counts catch what frame CRCs cannot: a clean truncation
+   that removes whole trailing frames from a log. Writers append shard
+   data before declaring it, so at every instant declared <= actual for
+   a log — a reader racing a save never sees phantom corruption. *)
+let manifest_version = 1
+
+type manifest = {
+  mf_shards : int;
+  mf_generation : int64;
+  mf_frames : int array;
+}
+
+let encode_manifest mf =
+  let payload = Buffer.create 64 in
+  Wire.w_int payload manifest_version;
+  Wire.w_int payload mf.mf_shards;
+  Wire.w_int64 payload mf.mf_generation;
+  Wire.w_array payload Wire.w_int mf.mf_frames;
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf magic_v3;
+  Wire.add_frame buf (Buffer.contents payload);
+  Buffer.contents buf
+
+let decode_manifest data =
+  match Wire.read_frames ~pos:(String.length magic_v3) data with
+  | [ payload ], 0 -> (
+    try
+      let c = Wire.cursor payload in
+      let version = Wire.r_int c in
+      let shards = Wire.r_int c in
+      let generation = Wire.r_int64 c in
+      let frames = Wire.r_array c Wire.r_int "shard frame counts" in
+      if
+        version = manifest_version
+        && shards >= 1 && shards <= max_shards
+        && Array.length frames = shards
+        && Array.for_all (fun n -> n >= 0) frames
+        && Wire.at_end c
+      then Some { mf_shards = shards; mf_generation = generation; mf_frames = frames }
+      else None
+    with Wire.Corrupt _ -> None)
+  | _ -> None
+
+let read_manifest path =
+  match read_file path with
+  | Ok data when has_magic data magic_v3 -> decode_manifest data
+  | Ok _ | Error _ -> None
+
+(* Content version for legacy v1/v2 files: a digest of the file identity
+   (device, inode, size, mtime). Bit 62 is forced so a legacy fingerprint
+   can never collide with the small v3 generation counters. *)
+let legacy_bit = 0x4000_0000_0000_0000L
+
+let legacy_generation path =
+  match Unix.stat path with
+  | exception Unix.Unix_error _ -> 0L
+  | st ->
+    let h = Hashing.create () in
+    Hashing.add_int h st.Unix.st_dev;
+    Hashing.add_int h st.Unix.st_ino;
+    Hashing.add_int h st.Unix.st_size;
+    Hashing.add_float h st.Unix.st_mtime;
+    Int64.logor (Hashing.value h) legacy_bit
+
+let next_generation = function
+  | Some g when g >= 0L && Int64.equal (Int64.logand g legacy_bit) 0L -> Int64.add g 1L
+  | Some _ | None -> 1L
+
+(* --- crash-test hook --------------------------------------------------------- *)
+
+(* FF_PERSIST_KILL_AFTER=k SIGKILLs the process right after the k-th
+   shard-log write of this process (data fsynced, manifest not yet
+   updated) — the window the store-recovery smoke test aims at. *)
+let kill_after_env () =
+  match Sys.getenv_opt "FF_PERSIST_KILL_AFTER" with
+  | None -> None
+  | Some s -> int_of_string_opt (String.trim s)
+
+let shard_writes = Atomic.make 0
+
+let kill_tick () =
+  match kill_after_env () with
+  | None -> ()
+  | Some k ->
+    if Atomic.fetch_and_add shard_writes 1 + 1 >= k then
+      Unix.kill (Unix.getpid ()) Sys.sigkill
+
+(* --- shard logs -------------------------------------------------------------- *)
+
+let record_frame (record : Store.section_record) =
+  let payload = Buffer.create 1024 in
+  Wire.w_record payload record;
+  Wire.frame (Buffer.contents payload)
+
+(* Append a batch of framed records to a shard log in a single write —
+   the magic rides along when the log is fresh, so a reader never sees a
+   magic-less file — and fsync before the manifest may declare it. *)
+let append_shard ~spath blob =
+  let fd = Unix.openfile spath [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let data = if (Unix.fstat fd).Unix.st_size = 0 then magic_shard ^ blob else blob in
+      let len = String.length data in
+      let off = ref 0 in
+      while !off < len do
+        off := !off + Unix.write_substring fd data !off (len - !off)
+      done;
+      Unix.fsync fd);
+  kill_tick ()
+
+let write_shard ~spath records =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic_shard;
+  List.iter (fun record -> Buffer.add_string buf (record_frame record)) records;
+  write_atomic ~path:spath (Buffer.contents buf);
+  kill_tick ()
+
+(* Decode a log's frame payloads into records, in file order; corrupt or
+   trailing-garbage payloads count as skips. *)
+let decode_shard_payloads payloads =
+  let skips = ref 0 in
+  let entries =
+    List.filter_map
+      (fun payload ->
+        match
+          let c = Wire.cursor payload in
+          let record = Wire.r_record c in
+          if Wire.at_end c then Some record else None
+        with
+        | Some record -> Some (payload, record)
+        | None ->
+          incr skips;
+          None
+        | exception Wire.Corrupt _ ->
+          incr skips;
+          None)
+      payloads
+  in
+  (entries, !skips)
+
+type shard_info = {
+  sh_index : int;
+  sh_bytes : int;
+  sh_frames : int;  (* structurally valid record frames, dead ones included *)
+  sh_live : int;  (* distinct keys (last frame wins) *)
+  sh_skipped : int;
+}
+
+let load_shard store ~index ~declared spath =
+  match read_file spath with
+  | Error _ ->
+    { sh_index = index; sh_bytes = 0; sh_frames = 0; sh_live = 0;
+      sh_skipped = (if declared > 0 then declared else 0) }
+  | Ok data ->
+    let magic_ok = has_magic data magic_shard in
+    let pos = if magic_ok then String.length magic_shard else 0 in
+    let frames, frame_skips = Wire.read_frames ~pos data in
+    let entries, decode_skips = decode_shard_payloads frames in
+    let keys = Hashtbl.create 16 in
+    List.iter
+      (fun (_, (record : Store.section_record)) ->
+        (* File order: a later delta frame for the same key wins. *)
+        Store.add_clean store record;
+        Hashtbl.replace keys record.Store.rec_key ())
+      entries;
+    let actual = List.length entries in
+    { sh_index = index;
+      sh_bytes = String.length data;
+      sh_frames = actual;
+      sh_live = Hashtbl.length keys;
+      sh_skipped =
+        (if magic_ok then 0 else 1)
+        + frame_skips + decode_skips
+        + max 0 (declared - actual) }
+
+(* --- load -------------------------------------------------------------------- *)
 
 let load_v2 data =
   let frames, frame_skips = Wire.read_frames ~pos:(String.length magic_v2 + 8) data in
@@ -82,7 +358,7 @@ let load_v2 data =
         let record = Wire.r_record c in
         if Wire.at_end c then Some record else None
       with
-      | Some record -> Store.add store record
+      | Some record -> Store.add_clean store record
       | None -> incr decode_skips
       | exception Wire.Corrupt _ -> incr decode_skips)
     frames;
@@ -112,7 +388,7 @@ let load_v1 data =
     let corrupt = ref false in
     (try
        for _ = 1 to count do
-         Store.add store (Wire.r_record c)
+         Store.add_clean store (Wire.r_record c)
        done
      with Wire.Corrupt _ -> corrupt := true);
     let skipped = count - Store.size store in
@@ -121,30 +397,414 @@ let load_v1 data =
     let skipped = if (not !corrupt) && not (Wire.at_end c) then skipped + 1 else skipped in
     Ok (store, skipped)
 
-let load ~path =
-  Telemetry.incr m_loads;
+(* One full decode of whatever sits at [path], shared by [load]/[stat]/
+   [compact]. *)
+type scan = {
+  sc_format : string;
+  sc_store : Store.t;
+  sc_generation : int64;
+  sc_shards : int;
+  sc_manifest_bytes : int;
+  sc_per_shard : shard_info list;
+  sc_skipped : int;
+}
+
+let sum_skips infos = List.fold_left (fun acc s -> acc + s.sh_skipped) 0 infos
+
+(* The manifest is unreadable (or its magic was destroyed while healthy
+   shard logs sit next to it): recover every record the logs still hold
+   by probing all possible shard indices. The lost manifest counts as one
+   skipped region; without its declared counts, a cleanly truncated log
+   tail can no longer be detected — the price of losing it. *)
+let salvage_scan ~manifest_bytes path store =
+  let infos =
+    List.filter_map
+      (fun i ->
+        let spath = shard_path path i in
+        if Sys.file_exists spath then Some (load_shard store ~index:i ~declared:0 spath)
+        else None)
+      (List.init max_shards Fun.id)
+  in
+  { sc_format = magic_v3;
+    sc_store = store;
+    sc_generation = 0L;
+    sc_shards = List.fold_left (fun acc s -> max acc (s.sh_index + 1)) 0 infos;
+    sc_manifest_bytes = manifest_bytes;
+    sc_per_shard = infos;
+    sc_skipped = 1 + sum_skips infos }
+
+let legacy_scan format path data store skipped =
+  let n = Store.size store in
+  { sc_format = format;
+    sc_store = store;
+    sc_generation = legacy_generation path;
+    sc_shards = 1;
+    sc_manifest_bytes = 0;
+    sc_per_shard =
+      [ { sh_index = 0; sh_bytes = String.length data; sh_frames = n;
+          sh_live = n; sh_skipped = skipped } ];
+    sc_skipped = skipped }
+
+let shard_salvageable path =
+  let rec go i =
+    i < max_shards
+    && ((match read_prefix (shard_path path i) 8 with
+        | Ok m -> String.equal m magic_shard
+        | Error _ -> false)
+       || go (i + 1))
+  in
+  go 0
+
+let read_store ~path =
   match read_file path with
-  | Error e -> Error e
+  | Error e ->
+    (* No manifest at all, but shard logs on disk: a writer died between
+       its first shard write and the first manifest write. Everything
+       fsynced into the logs is recoverable. *)
+    if (not (Sys.file_exists path)) && shard_salvageable path then
+      Ok (salvage_scan ~manifest_bytes:0 path (Store.create ()))
+    else Error e
   | Ok data ->
-    let has_magic magic =
-      String.length data >= String.length magic
-      && String.equal (String.sub data 0 (String.length magic)) magic
-    in
-    let result =
-      if has_magic magic_v2 then load_v2 data
-      else if has_magic magic_v1 then load_v1 data
-      else Error "not a FastFlip store file"
-    in
-    (match result with
-    | Ok (store, skipped) ->
-      Telemetry.add m_loaded (Store.size store);
-      Telemetry.add m_skipped skipped
-    | Error _ -> ());
-    result
+    if has_magic data magic_v3 then begin
+      let store = Store.create () in
+      match decode_manifest data with
+      | Some mf ->
+        let infos =
+          List.init mf.mf_shards (fun i ->
+              load_shard store ~index:i ~declared:mf.mf_frames.(i) (shard_path path i))
+        in
+        Ok
+          { sc_format = magic_v3;
+            sc_store = store;
+            sc_generation = mf.mf_generation;
+            sc_shards = mf.mf_shards;
+            sc_manifest_bytes = String.length data;
+            sc_per_shard = infos;
+            sc_skipped = sum_skips infos }
+      | None -> Ok (salvage_scan ~manifest_bytes:(String.length data) path store)
+    end
+    else if has_magic data magic_v2 then
+      Result.map (fun (store, skipped) -> legacy_scan magic_v2 path data store skipped) (load_v2 data)
+    else if has_magic data magic_v1 then
+      Result.map (fun (store, skipped) -> legacy_scan magic_v1 path data store skipped) (load_v1 data)
+    else if shard_salvageable path then
+      Ok (salvage_scan ~manifest_bytes:(String.length data) path (Store.create ()))
+    else Error "not a FastFlip store file"
 
-(* --- save ------------------------------------------------------------------- *)
+let present ~path = Sys.file_exists path || shard_salvageable path
 
-let encode store =
+let load_v ~path =
+  Telemetry.incr m_loads;
+  match read_store ~path with
+  | Error e -> Error e
+  | Ok sc ->
+    Telemetry.add m_loaded (Store.size sc.sc_store);
+    Telemetry.add m_skipped sc.sc_skipped;
+    Ok (sc.sc_store, sc.sc_skipped, sc.sc_generation)
+
+let load ~path = Result.map (fun (store, skipped, _) -> (store, skipped)) (load_v ~path)
+
+let generation ~path =
+  match classify path with
+  | D_v3 -> Some (match read_manifest path with Some mf -> mf.mf_generation | None -> 0L)
+  | D_v2 | D_v1 -> Some (legacy_generation path)
+  | D_missing | D_other -> None
+
+(* --- stat -------------------------------------------------------------------- *)
+
+type info = {
+  st_format : string;
+  st_shards : int;
+  st_generation : int64;
+  st_live : int;
+  st_dead : int;
+  st_bytes : int;
+  st_skipped : int;
+  st_per_shard : shard_info list;
+}
+
+let stat ~path =
+  match read_store ~path with
+  | Error e -> Error e
+  | Ok sc ->
+    let frames = List.fold_left (fun acc s -> acc + s.sh_frames) 0 sc.sc_per_shard in
+    let bytes =
+      sc.sc_manifest_bytes + List.fold_left (fun acc s -> acc + s.sh_bytes) 0 sc.sc_per_shard
+    in
+    let live = Store.size sc.sc_store in
+    Ok
+      { st_format = sc.sc_format;
+        st_shards = sc.sc_shards;
+        st_generation = sc.sc_generation;
+        st_live = live;
+        st_dead = max 0 (frames - live);
+        st_bytes = bytes;
+        st_skipped = sc.sc_skipped;
+        st_per_shard = sc.sc_per_shard }
+
+(* --- save -------------------------------------------------------------------- *)
+
+type save_stats = {
+  sv_appended : int;
+  sv_live : int;
+  sv_compacted : int;
+  sv_generation : int64;
+}
+
+(* Rewrite shard [i] down to its live records. The new content is staged
+   in memory here and only renamed into place after the manifest already
+   declares the smaller count, preserving declared <= actual for any
+   concurrent reader. The surviving records keep their original payload
+   bytes — compaction never re-encodes. *)
+let stage_compaction path i =
+  let spath = shard_path path i in
+  match read_file spath with
+  | Error _ -> None
+  | Ok data ->
+    let pos = if has_magic data magic_shard then String.length magic_shard else 0 in
+    let frames, _ = Wire.read_frames ~pos data in
+    let entries, _ = decode_shard_payloads frames in
+    let last = Hashtbl.create 64 in
+    List.iteri
+      (fun idx (payload, (record : Store.section_record)) ->
+        Hashtbl.replace last record.Store.rec_key (idx, payload))
+      entries;
+    let live = Hashtbl.fold (fun _ entry acc -> entry :: acc) last [] in
+    let live = List.sort (fun (a, _) (b, _) -> compare (a : int) b) live in
+    let buf = Buffer.create (String.length data) in
+    Buffer.add_string buf magic_shard;
+    List.iter (fun (_, payload) -> Wire.add_frame buf payload) live;
+    Some (i, Buffer.contents buf, List.length live)
+
+(* Incremental path: [path] already holds a v3 store with layout [mf0].
+   Appends the dirty records to their shard logs under the per-shard
+   locks, then folds the frame-count deltas into the manifest under the
+   manifest lock — O(dirty) I/O, no read of the existing records.
+   [`Retry] means the layout changed underneath us (a concurrent reshard)
+   and the caller should re-classify; nothing was cleaned, so no record
+   is lost. *)
+let save_v3 store ~path (mf0 : manifest) =
+  let shards = mf0.mf_shards in
+  let dirty = Store.dirty_records store in
+  if dirty = [] then
+    `Done
+      { sv_appended = 0; sv_live = Store.size store; sv_compacted = 0;
+        sv_generation = mf0.mf_generation }
+  else begin
+    let buckets = Array.make shards [] in
+    List.iter
+      (fun (record : Store.section_record) ->
+        let i = shard_of ~shards record.Store.rec_key in
+        buckets.(i) <- record :: buckets.(i))
+      dirty;
+    let dirty_shards = ref [] in
+    for i = shards - 1 downto 0 do
+      if buckets.(i) <> [] then dirty_shards := i :: !dirty_shards
+    done;
+    let dirty_shards = !dirty_shards in
+    (* What the in-memory store believes lives in each dirty shard — the
+       compaction trigger's live-count estimate. *)
+    let live_est = Array.make shards 0 in
+    List.iter
+      (fun (record : Store.section_record) ->
+        let i = shard_of ~shards record.Store.rec_key in
+        live_est.(i) <- live_est.(i) + 1)
+      (Store.records store);
+    with_locks (List.map (shard_lockfile path) dirty_shards) @@ fun () ->
+    match read_manifest path with
+    | None -> `Retry
+    | Some mf when mf.mf_shards <> shards -> `Retry
+    | Some mf ->
+      List.iter
+        (fun i ->
+          let blob = String.concat "" (List.rev_map record_frame buckets.(i)) in
+          append_shard ~spath:(shard_path path i) blob;
+          Telemetry.incr m_appends)
+        dirty_shards;
+      Telemetry.add m_appended (List.length dirty);
+      let staged =
+        List.filter_map
+          (fun i ->
+            let count = mf.mf_frames.(i) + List.length buckets.(i) in
+            if count >= compact_min_frames && count > 2 * live_est.(i) then
+              stage_compaction path i
+            else None)
+          dirty_shards
+      in
+      let outcome =
+        with_lock ~lockfile:(path ^ ".lock") @@ fun () ->
+        match read_manifest path with
+        | Some cur when cur.mf_shards <> shards -> `Retry
+        | current ->
+          (* [None] here means the manifest was corrupted underneath us
+             (a crashed writer): restore our last-known view plus the
+             deltas rather than lose the layout. *)
+          let cur = match current with Some cur -> cur | None -> mf in
+          let frames = Array.copy cur.mf_frames in
+          List.iter
+            (fun i -> frames.(i) <- frames.(i) + List.length buckets.(i))
+            dirty_shards;
+          List.iter (fun (i, _, live) -> frames.(i) <- live) staged;
+          let gen = Int64.add cur.mf_generation 1L in
+          write_atomic ~path
+            (encode_manifest { mf_shards = shards; mf_generation = gen; mf_frames = frames });
+          `Gen gen
+      in
+      (match outcome with
+      | `Retry -> `Retry
+      | `Gen gen ->
+        List.iter
+          (fun (i, content, _) ->
+            write_atomic ~path:(shard_path path i) content;
+            Telemetry.incr m_compactions)
+          staged;
+        Store.clean store dirty;
+        `Done
+          { sv_appended = List.length dirty;
+            sv_live = Store.size store;
+            sv_compacted = List.length staged;
+            sv_generation = gen })
+  end
+
+(* Full-write path: fresh stores, migration from v1/v2, salvage of a
+   store whose manifest was destroyed, and reshards. Writes every shard
+   log of the target layout (so stale logs from a previous layout cannot
+   resurrect deleted records), then declares them in the manifest. *)
+let write_full ~path ~shards ~gen records =
+  let buckets = Array.make shards [] in
+  List.iter
+    (fun (record : Store.section_record) ->
+      let i = shard_of ~shards record.Store.rec_key in
+      buckets.(i) <- record :: buckets.(i))
+    records;
+  let frames = Array.make shards 0 in
+  for i = 0 to shards - 1 do
+    let rs = List.rev buckets.(i) in
+    frames.(i) <- List.length rs;
+    write_shard ~spath:(shard_path path i) rs
+  done;
+  for i = shards to max_shards - 1 do
+    try Sys.remove (shard_path path i) with Sys_error _ -> ()
+  done;
+  with_lock ~lockfile:(path ^ ".lock") (fun () ->
+      write_atomic ~path (encode_manifest { mf_shards = shards; mf_generation = gen; mf_frames = frames }))
+
+let save_rebuild ?known_generation ~shards ~lock_hi store ~path =
+  with_locks (List.init lock_hi (shard_lockfile path)) @@ fun () ->
+  let ours = Store.records store in
+  let disk_state = classify path in
+  let records, gen =
+    match disk_state with
+    | D_missing -> (ours, 1L)
+    (* Something unrecognizable at [path]: replace it, as the monolithic
+       writer always did. *)
+    | D_other -> (ours, 1L)
+    | D_v3 | D_v2 | D_v1 ->
+      let disk_gen = generation ~path in
+      if known_generation <> None && known_generation = disk_gen then begin
+        (* The caller proved it has already seen everything on disk —
+           the whole point of the generation hint: skip the merge load. *)
+        Telemetry.incr m_gen_skips;
+        (ours, next_generation disk_gen)
+      end
+      else begin
+        Telemetry.incr m_loads;
+        match read_store ~path with
+        | Error _ -> (ours, 1L)
+        | Ok sc ->
+          (* Merge-don't-clobber: fold in whatever another writer put on
+             disk since we loaded, our records winning on collisions. *)
+          let mine = Hashtbl.create 64 in
+          List.iter
+            (fun (record : Store.section_record) -> Hashtbl.replace mine record.Store.rec_key ())
+            ours;
+          let extra =
+            List.filter
+              (fun (record : Store.section_record) -> not (Hashtbl.mem mine record.Store.rec_key))
+              (Store.records sc.sc_store)
+          in
+          if extra <> [] then Telemetry.add m_merged (List.length extra);
+          (extra @ ours, next_generation (Some sc.sc_generation))
+      end
+  in
+  (match disk_state with
+  | D_v2 | D_v1 -> Telemetry.incr m_migrations
+  | D_v3 | D_missing | D_other -> ());
+  write_full ~path ~shards ~gen records;
+  Store.clean store records;
+  { sv_appended = List.length records;
+    sv_live = Store.size store;
+    sv_compacted = 0;
+    sv_generation = gen }
+
+let save ?known_generation ?(shards = default_shards) store ~path =
+  check_shards "Persist.save" shards;
+  Telemetry.incr m_saves;
+  let rebuild lock_hi = save_rebuild ?known_generation ~shards ~lock_hi store ~path in
+  let rec attempt tries =
+    match classify path with
+    | D_v3 -> (
+      match read_manifest path with
+      | Some mf -> (
+        match save_v3 store ~path mf with
+        | `Done stats -> stats
+        | `Retry when tries > 0 -> attempt (tries - 1)
+        | `Retry -> (
+          match read_manifest path with
+          | Some mf -> rebuild (max shards mf.mf_shards)
+          | None -> rebuild max_shards))
+      | None ->
+        (* v3 magic but an unreadable manifest frame: rebuild the layout,
+           salvaging whatever the shard logs still hold. *)
+        rebuild max_shards)
+    | D_v2 | D_v1 | D_missing | D_other -> rebuild shards
+  in
+  attempt 4
+
+(* --- explicit compaction ------------------------------------------------------ *)
+
+type compact_stats = {
+  cp_live : int;
+  cp_dropped : int;
+  cp_shards : int;
+  cp_generation : int64;
+}
+
+let compact ?shards ~path () =
+  (match shards with Some s -> check_shards "Persist.compact" s | None -> ());
+  match classify path with
+  | D_missing -> Error (path ^ ": no such store")
+  | D_other -> Error "not a FastFlip store file"
+  | (D_v3 | D_v2 | D_v1) as format ->
+    let current =
+      match read_manifest path with Some mf -> Some mf.mf_shards | None -> None
+    in
+    let target =
+      match (shards, current) with
+      | Some s, _ -> s
+      | None, Some n -> n
+      | None, None -> default_shards
+    in
+    let lock_hi =
+      match current with
+      | Some n -> max n target
+      | None -> ( match format with D_v3 -> max_shards | _ -> target)
+    in
+    with_locks (List.init lock_hi (shard_lockfile path)) @@ fun () ->
+    (match read_store ~path with
+    | Error e -> Error e
+    | Ok sc ->
+      let records = Store.records sc.sc_store in
+      let live = List.length records in
+      let frames = List.fold_left (fun acc s -> acc + s.sh_frames) 0 sc.sc_per_shard in
+      let gen = next_generation (Some sc.sc_generation) in
+      write_full ~path ~shards:target ~gen records;
+      Telemetry.add m_compactions target;
+      Ok { cp_live = live; cp_dropped = max 0 (frames - live); cp_shards = target; cp_generation = gen })
+
+(* --- legacy writers ----------------------------------------------------------- *)
+
+let encode_v2 store =
   let records = Store.records store in
   let buf = Buffer.create (1 lsl 16) in
   Buffer.add_string buf magic_v2;
@@ -157,39 +817,10 @@ let encode store =
     records;
   Buffer.contents buf
 
-let save store ~path =
-  Telemetry.incr m_saves;
-  with_lock ~path @@ fun () ->
-  (* Merge-don't-clobber: fold in whatever another writer put on disk
-     since we loaded, with our own records winning on key collisions. *)
-  let merged =
-    if not (Sys.file_exists path) then store
-    else
-      match load ~path with
-      | Error _ -> store
-      | Ok (disk, _) ->
-        let ours = Store.records store in
-        let mine = Hashtbl.create 64 in
-        List.iter (fun (r : Store.section_record) -> Hashtbl.replace mine r.Store.rec_key ()) ours;
-        let extra =
-          List.filter
-            (fun (r : Store.section_record) -> not (Hashtbl.mem mine r.Store.rec_key))
-            (Store.records disk)
-        in
-        if extra = [] then store
-        else begin
-          Telemetry.add m_merged (List.length extra);
-          let m = Store.create () in
-          List.iter (Store.add m) extra;
-          List.iter (Store.add m) ours;
-          m
-        end
-  in
-  write_atomic ~path (encode merged);
-  Store.size merged
+(* Legacy writers: kept so compatibility fixtures (and downgrade tooling)
+   can produce real FFSTORE1/FFSTORE2 files; [save] always writes v3. *)
+let save_legacy_v2 store ~path = write_atomic ~path (encode_v2 store)
 
-(* Legacy writer: kept only so compatibility fixtures (and downgrade
-   tooling) can produce real FFSTORE1 files; [save] always writes v2. *)
 let save_legacy_v1 store ~path =
   let buf = Buffer.create (1 lsl 16) in
   Buffer.add_string buf magic_v1;

@@ -2,47 +2,182 @@
 
     FastFlip "records the analysis results for reuse on future program
     versions" (§1); persisting the store across process runs makes the
-    incremental analysis usable from a CI job: load the store produced by
-    the previous commit's job, analyze, save. On a production deployment
-    the store {e is} the accumulated value of every campaign ever run, so
-    this layer is built to survive the faults such deployments see:
+    incremental analysis usable from a CI job or the serve daemon. On a
+    production deployment the store {e is} the accumulated value of every
+    campaign ever run, so this layer is built to survive the faults such
+    deployments see — and to charge saves for what changed, not for what
+    exists.
+
+    {2 Layout (format [FFSTORE3])}
+
+    A store at [path] is a {e manifest} plus [N] {e shard logs}:
 
     {ul
-    {- {b Corruption}: format [FFSTORE2] frames every record with a
-       length prefix and CRC-32 ({!Wire.frame}); {!load} salvages every
-       intact record from a truncated or bit-flipped file and reports how
-       many it had to skip, instead of dropping the whole store.}
-    {- {b Crashes}: {!save} writes a temp file, fsyncs, and renames it
-       over the target — a crash mid-save leaves the previous store
-       intact.}
-    {- {b Concurrent writers}: {!save} takes an advisory lock
-       ([path].lock) and merges the on-disk records it did not know about
-       before writing, so two fastflip processes sharing a store cannot
-       clobber each other's results.}}
+    {- [path] — the manifest: magic, then one CRC frame declaring the
+       layout width [N], a {e generation} counter bumped by every
+       content-changing save, and the record-frame count of each log.}
+    {- [path.sNN] — shard log [NN]: magic, then an append-only sequence
+       of CRC-framed records ({!Wire.frame}). Records are hash-sharded by
+       store key, so each key lives in exactly one log; within a log a
+       later frame for the same key supersedes the earlier one (a
+       {e delta log}).}}
 
-    Legacy [FFSTORE1] files (no framing) still load; {!save} always
-    writes v2. *)
+    {2 Guarantees}
 
-val save : Store.t -> path:string -> int
-(** Atomically replace the store at [path] with the union of [store] and
-    whatever is currently on disk (records in [store] win on key
-    collisions), under the advisory writer lock. Returns the number of
-    records written. Raises [Sys_error] / [Unix.Unix_error] on I/O
-    failure — never leaves a half-written store behind. *)
+    {ul
+    {- {b O(dirty) saves}: {!save} appends only the records added or
+       replaced since the store was loaded or last saved ({!Store}'s
+       dirty tracking), then updates the manifest — it never reads or
+       rewrites existing records.}
+    {- {b Corruption}: {!load} salvages every intact frame from every
+       log; a corrupt shard loses only its own damaged region, never its
+       siblings. The manifest's declared counts catch clean tail
+       truncation that CRCs cannot; a destroyed manifest degrades to
+       probing the logs directly.}
+    {- {b Crashes}: log appends are fsynced before the manifest declares
+       them, and manifest/compaction rewrites go through
+       temp-fsync-rename, so at every instant declared <= actual — a
+       reader racing a save or a crash never sees phantom corruption and
+       never loses an acknowledged record.}
+    {- {b Concurrent writers}: each log has its own advisory lock
+       ([path.sNN.lock], paired with an in-process mutex so domains and
+       threads are excluded too); writers touching disjoint shards
+       append in parallel. Lock order is shard locks ascending, then the
+       manifest lock ([path.lock]) — deadlock-free by construction.
+       Blind appends make merge-don't-clobber the default: nobody
+       overwrites records it has not seen.}
+    {- {b Compaction}: a save that leaves a log with at least 8 frames
+       and more than twice its live records rewrites just that log down
+       to the live set (original payload bytes preserved); {!compact}
+       does it store-wide and can reshard.}}
+
+    Legacy [FFSTORE2]/[FFSTORE1] files still load; the first {!save} over
+    one migrates it to v3 in place. *)
+
+val default_shards : int
+(** Layout width given to newly created stores when [?shards] is omitted
+    (16). *)
+
+val max_shards : int
+(** Upper bound on a layout width (64). *)
+
+val shard_of : shards:int -> Store.key -> int
+(** The shard index [key] hashes to in a [shards]-wide layout (stable
+    across processes; exposed for tests and benchmarks that construct
+    disjoint-shard workloads). *)
+
+val shard_path : string -> int -> string
+(** [shard_path path i] is the shard-log file name [path.sNN]. *)
+
+(** {1 Saving} *)
+
+type save_stats = {
+  sv_appended : int;  (** records written by this save *)
+  sv_live : int;  (** records in the in-memory store after the save *)
+  sv_compacted : int;  (** shard logs compacted as a side effect *)
+  sv_generation : int64;  (** the store's generation after the save *)
+}
+
+val save : ?known_generation:int64 -> ?shards:int -> Store.t -> path:string -> save_stats
+(** Persist [store]'s dirty records to the v3 store at [path] and mark
+    them clean.
+
+    Over an existing v3 store this appends the dirty records to their
+    shard logs and bumps the manifest — O(dirty) work; the layout width
+    on disk wins and [?shards] is ignored. A missing [path] creates a
+    fresh [?shards]-wide store (default {!default_shards}) holding every
+    record; a legacy v1/v2 file is migrated: its records are merged in
+    (ours winning on collisions) and the whole store is rewritten as v3.
+
+    [?known_generation] is the caller's proof of freshness: if it equals
+    the current on-disk generation (as returned by {!load_v} or a
+    previous save), the migration path skips re-reading the legacy file
+    it would otherwise have to merge — the daemon's save-on-exit uses
+    this after having loaded the store itself.
+
+    Raises [Sys_error] / [Unix.Unix_error] on I/O failure and
+    [Invalid_argument] on a [?shards] outside [1, {!max_shards}] — never
+    leaves a store unloadable. *)
+
+(** {1 Loading} *)
+
+val present : path:string -> bool
+(** Whether there is anything at [path] worth loading: a manifest (or
+    legacy store file), or — after a crash that never reached the first
+    manifest write — recognizable shard logs to salvage. Callers that
+    used to gate a load on [Sys.file_exists] should use this instead, or
+    a mid-first-save crash looks like a missing store. *)
 
 val load : path:string -> (Store.t * int, string) result
-(** Read a store written by {!save} (or a legacy [FFSTORE1] file).
+(** Read the store at [path] (v3, or a legacy v2/v1 file).
     [Ok (store, skipped)] holds every record that survived CRC and
     structural validation plus the number of corrupt records/regions
-    skipped; [skipped = 0] means the file was pristine. [Error] only for
+    skipped; [skipped = 0] means the store was pristine. [Error] only for
     a missing/unreadable file or one that is not a FastFlip store at all.
-    Never raises on corrupt input (including files truncated concurrently
-    with the read). *)
+    Never raises on corrupt input (including files truncated or appended
+    to concurrently with the read). *)
+
+val load_v : path:string -> (Store.t * int * int64, string) result
+(** {!load}, also returning the store's generation — pass it back to
+    {!save} as [?known_generation]. Legacy files report a stat-derived
+    fingerprint that plays the same role. *)
+
+val generation : path:string -> int64 option
+(** The current on-disk generation without reading any records; [None]
+    if [path] is missing or not a store. *)
+
+(** {1 Inspection and maintenance} *)
+
+type shard_info = {
+  sh_index : int;
+  sh_bytes : int;
+  sh_frames : int;  (** valid record frames, superseded ones included *)
+  sh_live : int;  (** distinct keys (last frame wins) *)
+  sh_skipped : int;  (** corrupt regions + declared-count shortfall *)
+}
+
+type info = {
+  st_format : string;  (** ["FFSTORE3"], ["FFSTORE2"] or ["FFSTORE1"] *)
+  st_shards : int;
+  st_generation : int64;
+  st_live : int;
+  st_dead : int;  (** superseded frames awaiting compaction *)
+  st_bytes : int;  (** manifest + all logs *)
+  st_skipped : int;
+  st_per_shard : shard_info list;  (** one synthetic entry for legacy files *)
+}
+
+val stat : path:string -> (info, string) result
+(** Scan the store at [path] without locking (racing writers can only
+    make the numbers momentarily conservative). *)
+
+type compact_stats = {
+  cp_live : int;
+  cp_dropped : int;  (** superseded/corrupt frames left behind *)
+  cp_shards : int;
+  cp_generation : int64;
+}
+
+val compact : ?shards:int -> path:string -> unit -> (compact_stats, string) result
+(** Rewrite the whole store down to its live records, under every shard
+    lock. [?shards] reshards to a new layout width; omitted, the current
+    width is kept (legacy input: {!default_shards} — compacting a v1/v2
+    file migrates it). Concurrent readers may transiently over-count
+    [skipped] during a reshard; they never lose records. *)
+
+(** {1 Legacy writers} *)
 
 val save_legacy_v1 : Store.t -> path:string -> unit
 (** Write the pre-hardening [FFSTORE1] encoding (no framing, no CRC, not
     atomic). Exists so compatibility fixtures exercise the real legacy
     format; production code paths always use {!save}. *)
+
+val save_legacy_v2 : Store.t -> path:string -> unit
+(** Write the monolithic [FFSTORE2] encoding (one atomic file of CRC
+    frames). Exists for migration fixtures and the corrupt-store fuzz
+    that targets the v2 salvage path. *)
+
+(** {1 Structural equality (tests)} *)
 
 val roundtrip_equal : Store.section_record -> Store.section_record -> bool
 (** Structural equality of two records (exposed for tests; floats compare

@@ -21,11 +21,21 @@ type section_record = {
 
 type t = {
   table : (key, section_record) Hashtbl.t;
+  (* Keys added or replaced since the last save: the delta a sharded
+     [Persist.save] appends, so a checkpoint costs O(dirty), not
+     O(store). [Persist.load] populates the table without touching it. *)
+  dirty : (key, unit) Hashtbl.t;
   mutable hit_count : int;
   mutable miss_count : int;
 }
 
-let create () = { table = Hashtbl.create 64; hit_count = 0; miss_count = 0 }
+let create () =
+  {
+    table = Hashtbl.create 64;
+    dirty = Hashtbl.create 16;
+    hit_count = 0;
+    miss_count = 0;
+  }
 
 let find t key =
   match Hashtbl.find_opt t.table key with
@@ -42,9 +52,30 @@ let peek t key = Hashtbl.find_opt t.table key
 
 let add t record =
   Telemetry.incr m_adds;
-  Hashtbl.replace t.table record.rec_key record
+  Hashtbl.replace t.table record.rec_key record;
+  Hashtbl.replace t.dirty record.rec_key ()
+
+let add_clean t record = Hashtbl.replace t.table record.rec_key record
 
 let records t = Hashtbl.fold (fun _ record acc -> record :: acc) t.table []
+
+let dirty_records t =
+  Hashtbl.fold
+    (fun key () acc ->
+      match Hashtbl.find_opt t.table key with
+      | Some record -> record :: acc
+      | None -> acc)
+    t.dirty []
+
+let dirty_count t = Hashtbl.length t.dirty
+
+let clean t written =
+  List.iter
+    (fun record ->
+      match Hashtbl.find_opt t.table record.rec_key with
+      | Some current when current == record -> Hashtbl.remove t.dirty record.rec_key
+      | Some _ | None -> ())
+    written
 
 let size t = Hashtbl.length t.table
 

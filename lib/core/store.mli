@@ -6,7 +6,11 @@
     whose golden inputs differ because an upstream section changed
     semantics — miss in the store and must be re-analyzed; everything else
     is reused at zero injection cost. Semantics-preserving modifications
-    therefore re-analyze exactly the edited sections. *)
+    therefore re-analyze exactly the edited sections.
+
+    The store also tracks which records are {e dirty} — added or replaced
+    since the last persist — so {!Persist.save} can append just the delta
+    to the sharded on-disk log instead of rewriting the world. *)
 
 type key = {
   code_hash : int64;
@@ -34,10 +38,25 @@ val peek : t -> key -> section_record option
     analysis itself reports. *)
 
 val add : t -> section_record -> unit
-(** Last write wins on key collisions. *)
+(** Last write wins on key collisions. Marks the record dirty. *)
+
+val add_clean : t -> section_record -> unit
+(** {!add} without marking the record dirty and without telemetry — used
+    by {!Persist.load} for records that already live on disk. *)
 
 val records : t -> section_record list
 (** Every stored record, in unspecified order (used by {!Persist}). *)
+
+val dirty_records : t -> section_record list
+(** The records changed since the last {!clean} (unspecified order) —
+    the delta an incremental {!Persist.save} appends. *)
+
+val dirty_count : t -> int
+
+val clean : t -> section_record list -> unit
+(** Mark [written] records clean. A key whose record was replaced again
+    after [written] was snapshotted (a concurrent {!add} during a save)
+    stays dirty, so the next save still persists the newer record. *)
 
 val size : t -> int
 

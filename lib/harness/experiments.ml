@@ -44,8 +44,10 @@ let adjusted_targets_for ~ff ~ground_truth =
     standard_targets
 
 let run_benchmark ?(config = Pipeline.default_config) ?(versions = Defs.all_versions)
-    ?pool bench =
-  let store = Fastflip.Store.create () in
+    ?pool ?store bench =
+  let store =
+    match store with Some store -> store | None -> Fastflip.Store.create ()
+  in
   let results = List.map (run_version ?pool config store bench) versions in
   let adjusted_targets =
     match results with

@@ -26,12 +26,16 @@ val run_benchmark :
   ?config:Fastflip.Pipeline.config ->
   ?versions:Ff_benchmarks.Defs.version list ->
   ?pool:Ff_support.Pool.t ->
+  ?store:Fastflip.Store.t ->
   Ff_benchmarks.Defs.t ->
   benchmark_run
 (** Analyze the requested versions (default: all three) sharing one
     incremental store; compute adjusted targets on the first version.
     [pool] parallelizes both analyses; results are identical to the
-    serial run for any pool width. *)
+    serial run for any pool width. [store] substitutes a caller-owned
+    store (e.g. one loaded from disk by the bench harness's [--store])
+    for the default fresh one — a warm store turns repeat analyses into
+    pure reuse, which changes the work accounting the tables report. *)
 
 val utility_rows :
   ?adjusted:bool -> benchmark_run -> version_result -> Fastflip.Compare.row list

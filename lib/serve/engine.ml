@@ -1,5 +1,6 @@
 module Pipeline = Fastflip.Pipeline
 module Store = Fastflip.Store
+module Persist = Fastflip.Persist
 module Campaign = Ff_inject.Campaign
 module Site = Ff_inject.Site
 module Pool = Ff_support.Pool
@@ -75,6 +76,14 @@ let backing t =
     Pipeline.lookup = (fun key -> locked t.store_mu (fun () -> Store.find t.e_store key));
     publish = (fun record -> locked t.store_mu (fun () -> Store.add t.e_store record));
   }
+
+(* Persist the shared store under the store lock: the save snapshots the
+   dirty set and the table, which request threads mutate through
+   [backing], so the lock makes the snapshot consistent. Incremental v3
+   saves are O(dirty), so the pause requests can observe is proportional
+   to what changed since the last save, not to the store. *)
+let save ?known_generation ?shards t ~path =
+  locked t.store_mu (fun () -> Persist.save ?known_generation ?shards t.e_store ~path)
 
 let analyze t ~source (query : Protocol.query) =
   let t0 = Telemetry.now_ns () in

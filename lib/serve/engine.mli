@@ -37,6 +37,17 @@ val create :
 
 val store : t -> Fastflip.Store.t
 
+val save :
+  ?known_generation:int64 ->
+  ?shards:int ->
+  t ->
+  path:string ->
+  Fastflip.Persist.save_stats
+(** {!Fastflip.Persist.save} under the store lock, so the dirty-set
+    snapshot is consistent with concurrent request threads publishing
+    records. Used for the daemon's periodic checkpoints and its
+    save-on-exit; both are O(records changed since the last save). *)
+
 val handle : t -> Protocol.request -> Protocol.response
 (** Total: any per-request failure (compile error, golden trap) becomes
     [Protocol.Error]; warm state is never corrupted by a failed request.

@@ -6,11 +6,14 @@ module Store = Fastflip.Store
 let m_connections = Telemetry.counter "serve.connections"
 let m_malformed = Telemetry.counter "serve.malformed"
 
+(* Loading also captures the store's generation: passed back to every
+   save as the freshness hint, it lets a save-on-exit over a legacy file
+   skip the redundant merge re-read of what this process just loaded. *)
 let load_store ~strict path =
-  if not (Sys.file_exists path) then Store.create ()
+  if not (Sys.file_exists path) then (Store.create (), None)
   else
-    match Persist.load ~path with
-    | Ok (store, skipped) ->
+    match Persist.load_v ~path with
+    | Ok (store, skipped, generation) ->
       if skipped > 0 then begin
         if strict then
           failwith
@@ -20,12 +23,12 @@ let load_store ~strict path =
           skipped
       end;
       Printf.eprintf "loaded %d section records from %s\n%!" (Store.size store) path;
-      store
+      (store, Some generation)
     | Error e ->
       if strict then
         failwith (Printf.sprintf "store %s refused by --strict-store: %s" path e);
       Printf.eprintf "ignoring store %s: %s\n%!" path e;
-      Store.create ()
+      (Store.create (), None)
 
 (* One request/response exchange at a time per connection; the protocol
    has no pipelining. Any transport or decode violation drops only this
@@ -52,12 +55,14 @@ let handle_connection engine shutdown fd =
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () -> try loop () with _ -> ())
 
-let run ~socket ?store_path ?(strict_store = false) ?(pool = Pool.serial) () =
-  let store =
+let run ~socket ?store_path ?(strict_store = false) ?save_every ?shards
+    ?(pool = Pool.serial) () =
+  let store, generation =
     match store_path with
     | Some path -> load_store ~strict:strict_store path
-    | None -> Store.create ()
+    | None -> (Store.create (), None)
   in
+  let generation = ref generation in
   let engine = Engine.create ~store ~pool () in
   if Sys.file_exists socket then Unix.unlink socket;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -70,6 +75,37 @@ let run ~socket ?store_path ?(strict_store = false) ?(pool = Pool.serial) () =
   (* A client that disconnects mid-response must not kill the daemon. *)
   let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   let active = Atomic.make 0 in
+  (* Periodic background checkpoint: a long-lived daemon should not keep
+     hours of campaign results only in memory. Each tick appends the
+     records published since the last save — O(dirty) — and remembers the
+     resulting generation so the next save (and the exit save) can prove
+     freshness. *)
+  let saver =
+    match (store_path, save_every) with
+    | Some path, Some every when every > 0.0 ->
+      Some
+        (Thread.create
+           (fun () ->
+             let last = ref (Unix.gettimeofday ()) in
+             while not (Atomic.get shutdown) do
+               Thread.delay 0.1;
+               if (not (Atomic.get shutdown)) && Unix.gettimeofday () -. !last >= every
+               then begin
+                 last := Unix.gettimeofday ();
+                 match Engine.save ?known_generation:!generation ?shards engine ~path with
+                 | stats ->
+                   generation := Some stats.Persist.sv_generation;
+                   if stats.Persist.sv_appended > 0 then
+                     Printf.eprintf "checkpointed %d section record(s) to %s\n%!"
+                       stats.Persist.sv_appended path
+                 | exception e ->
+                   Printf.eprintf "warning: periodic store save failed: %s\n%!"
+                     (Printexc.to_string e)
+               end
+             done)
+           ())
+    | _ -> None
+  in
   Printf.printf "fastflip: serving on %s (%d domains)\n%!" socket (Pool.domains pool);
   let rec accept_loop () =
     if not (Atomic.get shutdown) then begin
@@ -105,10 +141,11 @@ let run ~socket ?store_path ?(strict_store = false) ?(pool = Pool.serial) () =
   done;
   (try Unix.close listen_fd with Unix.Unix_error _ -> ());
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  (match saver with Some thread -> Thread.join thread | None -> ());
   (match store_path with
   | Some path ->
-    let saved = Persist.save (Engine.store engine) ~path in
-    Printf.eprintf "saved %d section records to %s\n%!" saved path
+    let stats = Engine.save ?known_generation:!generation ?shards engine ~path in
+    Printf.eprintf "saved %d section records to %s\n%!" stats.Persist.sv_live path
   | None -> ());
   Sys.set_signal Sys.sigterm prev_term;
   Sys.set_signal Sys.sigint prev_int;

@@ -7,7 +7,12 @@
     cooperative: SIGTERM/SIGINT or a [Shutdown] request sets a flag the
     accept loop polls; in-flight requests are drained (bounded wait), the
     socket file is removed, and the store — if persistent — is saved with
-    the usual atomic merging {!Fastflip.Persist.save}.
+    the incremental, merging {!Fastflip.Persist.save}.
+
+    With [save_every], a background thread also checkpoints the store
+    periodically; each tick appends only the records published since the
+    last save (O(dirty) under the sharded store), so a killed daemon
+    loses at most one interval of results.
 
     A malformed or hostile connection (garbage bytes, truncated frames,
     oversized length prefixes) gets a best-effort [Error] response and is
@@ -17,11 +22,16 @@ val run :
   socket:string ->
   ?store_path:string ->
   ?strict_store:bool ->
+  ?save_every:float ->
+  ?shards:int ->
   ?pool:Ff_support.Pool.t ->
   unit ->
   unit
 (** Bind [socket] (an existing socket file is replaced), serve until
-    shut down, then clean up. Progress chatter goes to stderr; the
-    "serving on" banner goes to stdout (scripts wait for it). Raises
-    [Unix.Unix_error] if the socket cannot be bound, and exits nonzero
-    via [Failure] if [strict_store] rejects a corrupt store. *)
+    shut down, then clean up. [save_every] is the background checkpoint
+    interval in seconds (omitted or <= 0: save only on exit); [shards]
+    is the layout width if the exit save creates a fresh store. Progress
+    chatter goes to stderr; the "serving on" banner goes to stdout
+    (scripts wait for it). Raises [Unix.Unix_error] if the socket cannot
+    be bound, and exits nonzero via [Failure] if [strict_store] rejects a
+    corrupt store. *)

@@ -17,6 +17,12 @@
 #                        speedup >= 1.0
 #   BENCH_server.json    well-formed, identical responses, warm
 #                        speedup > 1.0
+#   BENCH_store.json     well-formed, identical reload, incremental save
+#                        >= 5x faster than a full rewrite, every save
+#                        reflected in the persist.saves telemetry; with
+#                        2+ cores two disjoint-shard writers must also
+#                        beat serial (on 1 core only a no-pathological-
+#                        serialization floor applies)
 #
 # Prints one readable line per violation and exits nonzero if any check
 # fails.
@@ -111,12 +117,39 @@ gate_server() {
   require_floor "$f" throughput_rps ">" 0 "no concurrent throughput recorded"
 }
 
+gate_store() {
+  f=$1
+  well_formed "$f" || return
+  require_identical "$f" "sharded store did not reload bit-identically"
+  require_floor "$f" odirty_speedup ">=" 5.0 "incremental save is not O(dirty)"
+  # The telemetry counter must have moved at least once per save the
+  # bench performed (the bench itself fails hard on undercounting, so
+  # here it is a malformed-artifact check).
+  saves=$(json_num "$f" saves_counted)
+  expected=$(json_num "$f" saves_expected)
+  if [ -z "$saves" ] || [ -z "$expected" ]; then
+    violation "$f: malformed, no numeric \"saves_counted\"/\"saves_expected\""
+  elif [ "$(awk -v a="$saves" -v b="$expected" 'BEGIN { print (a >= b && b > 0) }')" != 1 ]; then
+    violation "$f: persist.saves telemetry counted $saves of $expected saves"
+  fi
+  # Two writers on disjoint shards can only beat one-at-a-time when
+  # there is a second core to run on; on a 1-core host the floor just
+  # rejects pathological lock serialization (scaling far below 1).
+  cores=$(json_num "$f" cores)
+  if [ -n "$cores" ] && [ "$cores" -ge 2 ] 2>/dev/null; then
+    require_floor "$f" writer_scaling ">" 1.0 "disjoint-shard writers do not scale"
+  else
+    require_floor "$f" writer_scaling ">" 0.5 "disjoint-shard writers serialize each other"
+  fi
+}
+
 gate_one() {
   case $(basename "$1") in
   BENCH_parallel.json) gate_parallel "$1" ;;
   BENCH_vm.json) gate_vm "$1" ;;
   BENCH_prune.json) gate_prune "$1" ;;
   BENCH_server.json) gate_server "$1" ;;
+  BENCH_store.json) gate_store "$1" ;;
   *) violation "$1: no gate known for this file" ;;
   esac
 }
@@ -128,7 +161,7 @@ if [ $# -gt 0 ]; then
 else
   cd "$(dirname "$0")/.."
   found=0
-  for f in BENCH_parallel.json BENCH_vm.json BENCH_prune.json BENCH_server.json; do
+  for f in BENCH_parallel.json BENCH_vm.json BENCH_prune.json BENCH_server.json BENCH_store.json; do
     if [ -e "$f" ]; then
       found=1
       gate_one "$f"

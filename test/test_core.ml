@@ -286,12 +286,14 @@ let test_store_counters () =
 (* --- crash safety: hardened persistence ----------------------------------- *)
 
 (* One analyzed store and its pristine FFSTORE2 bytes, shared by the
-   corruption tests below (the analysis is the expensive part). *)
+   corruption tests below (the analysis is the expensive part). The
+   monolithic v2 image keeps this fuzz aimed at the legacy salvage path;
+   the sharded FFSTORE3 layout gets its own fuzz in test_store3.ml. *)
 let pristine = lazy (
   let store = Store.create () in
   let _ = Pipeline.analyze ~store quick_config (compile program_src) in
   let path = Filename.temp_file "ffstore" ".bin" in
-  let _ = Persist.save store ~path in
+  Persist.save_legacy_v2 store ~path;
   let ic = open_in_bin path in
   let data = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -390,29 +392,41 @@ let test_persist_concurrent_writers_merge () =
   let store2 = Store.create () in
   let config2 = { quick_config with Pipeline.sensitivity_samples = 61 } in
   let _ = Pipeline.analyze ~store:store2 config2 (compile program_src) in
+  let union = Store.size store1 + Store.size store2 in
+  let check_union msg =
+    match Persist.load ~path with
+    | Error e -> Alcotest.failf "%s: load failed: %s" msg e
+    | Ok (loaded, skipped) ->
+      Alcotest.(check int) (msg ^ ": store pristine") 0 skipped;
+      Alcotest.(check int) (msg ^ ": union size") union (Store.size loaded);
+      List.iter
+        (fun r ->
+          match Store.find loaded r.Store.rec_key with
+          | Some found ->
+            Alcotest.(check bool) (msg ^ ": record intact") true
+              (Persist.roundtrip_equal r found)
+          | None -> Alcotest.failf "%s: record lost in merge" msg)
+        (Store.records store1 @ Store.records store2)
+  in
   let w1 = Persist.save store1 ~path in
-  Alcotest.(check int) "first writer" (Store.size store1) w1;
+  Alcotest.(check int) "first writer appends everything"
+    (Store.size store1) w1.Persist.sv_appended;
   let w2 = Persist.save store2 ~path in
-  Alcotest.(check int) "second writer merges"
-    (Store.size store1 + Store.size store2) w2;
-  (match Persist.load ~path with
-  | Error e -> Alcotest.failf "merged load failed: %s" e
-  | Ok (loaded, skipped) ->
-    Alcotest.(check int) "merged store pristine" 0 skipped;
-    List.iter
-      (fun r ->
-        match Store.find loaded r.Store.rec_key with
-        | Some found ->
-          Alcotest.(check bool) "merged record intact" true
-            (Persist.roundtrip_equal r found)
-        | None -> Alcotest.fail "record lost in merge")
-      (Store.records store1 @ Store.records store2));
-  (* Re-saving one writer is idempotent: its records collide and win. *)
+  Alcotest.(check int) "second writer appends only its own"
+    (Store.size store2) w2.Persist.sv_appended;
+  check_union "after both writers";
+  (* Re-saving a clean writer appends nothing — the whole point of the
+     dirty-tracking delta log — and disturbs no on-disk record. *)
   let w3 = Persist.save store1 ~path in
-  Alcotest.(check int) "collisions keep ours"
-    (Store.size store1 + Store.size store2) w3;
+  Alcotest.(check int) "clean re-save appends nothing" 0 w3.Persist.sv_appended;
+  check_union "after idempotent re-save";
   Sys.remove path;
-  (try Sys.remove (path ^ ".lock") with Sys_error _ -> ())
+  (try Sys.remove (path ^ ".lock") with Sys_error _ -> ());
+  for i = 0 to Persist.max_shards - 1 do
+    let sp = Persist.shard_path path i in
+    (try Sys.remove sp with Sys_error _ -> ());
+    (try Sys.remove (sp ^ ".lock") with Sys_error _ -> ())
+  done
 
 (* --- crash safety: checkpointed campaigns ---------------------------------- *)
 
@@ -556,7 +570,9 @@ let test_crash_safety_counters_in_metrics () =
       "campaign.journal.restored"; "checkpoint.appends";
       "checkpoint.classes_appended"; "checkpoint.classes_loaded";
       "persist.records_loaded"; "persist.records_skipped";
-      "persist.saves.merged_records";
+      "persist.saves.merged_records"; "persist.appends";
+      "persist.records_appended"; "persist.compactions";
+      "persist.merge_loads_skipped";
     ]
 
 (* --- adjust / compare --------------------------------------------------------- *)

@@ -295,7 +295,7 @@ let test_persist_salvages_truncation () =
   let store = Store.create () in
   let _ = Pipeline.analyze ~store quick_config (compile chain_src) in
   let path = Filename.temp_file "ffstore" ".bin" in
-  let _ = Persist.save store ~path in
+  Persist.save_legacy_v2 store ~path;
   let ic = open_in_bin path in
   let n = in_channel_length ic in
   let data = really_input_string ic (n - 16) in
