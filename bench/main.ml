@@ -416,7 +416,7 @@ let print_prune config =
             let proofs =
               Ff_inject.Prover.prove_section golden ~section_index:i
                 ~timeout_factor:on_config.Campaign.timeout_factor
-                ~burst:on_config.Campaign.burst on_config.Campaign.prove
+                ~model:on_config.Campaign.model on_config.Campaign.prove
                 (Array.of_list cls)
             in
             Array.iter
@@ -551,6 +551,171 @@ let emit_prune_json () =
     Printf.printf "wrote BENCH_prune.json (best prune ratio %.1f%%, aggregate speedup %.2fx)\n%!"
       (100.0 *. best) aggregate
 
+(* --- fault models: per-model campaign throughput and prune ratio --------- *)
+
+type fault_row = {
+  fr_model : string;
+  fr_classes : int;
+  fr_sites : int;
+  fr_proved : int;
+  fr_serial_s : float;
+  fr_identical : bool;  (* serial == pooled, bit for bit *)
+}
+
+let fault_rows : fault_row list ref = ref []
+
+let fr_ratio r =
+  if r.fr_classes > 0 then float_of_int r.fr_proved /. float_of_int r.fr_classes
+  else 0.0
+
+let fr_throughput r =
+  if r.fr_serial_s > 0.0 then float_of_int r.fr_sites /. r.fr_serial_s else 0.0
+
+let print_faults config =
+  (* One campaign per built-in fault model over LUD (V_none): identity
+     between the serial and pooled runs is the gate (a model whose
+     injection depends on domain count would diverge here), throughput
+     and the prover's prune ratio are the tracked metrics. The prover
+     abstains wholesale on non-register models, so their prune ratio is
+     structurally 0. *)
+  let p = Lazy.force pool in
+  let bench = Option.get (Registry.find "LUD") in
+  let program = Ff_lang.Frontend.compile_exn (bench.Defs.source Defs.V_none) in
+  let golden = Ff_vm.Golden.run program in
+  let nsections = Array.length golden.Ff_vm.Golden.sections in
+  let rows =
+    List.map
+      (fun model ->
+        let cfg =
+          {
+            config.Pipeline.campaign with
+            Campaign.model;
+            prove = Ff_inject.Prover.on;
+          }
+        in
+        let classes =
+          Array.init nsections (fun i ->
+              Ff_inject.Eqclass.for_section ~model
+                golden.Ff_vm.Golden.sections.(i) cfg.Campaign.bits)
+        in
+        let nclasses = Array.fold_left (fun acc c -> acc + List.length c) 0 classes in
+        let nsites =
+          Array.fold_left
+            (fun acc c -> acc + Ff_inject.Eqclass.total_sites c)
+            0 classes
+        in
+        let proved = ref 0 in
+        Array.iteri
+          (fun i cls ->
+            Ff_inject.Prover.prove_section golden ~section_index:i
+              ~timeout_factor:cfg.Campaign.timeout_factor ~model cfg.Campaign.prove
+              (Array.of_list cls)
+            |> Array.iter (function Some _ -> incr proved | None -> ()))
+          classes;
+        let campaign ?pool () =
+          Array.init nsections (fun i ->
+              Campaign.run_section ?pool ~classes:classes.(i) golden
+                ~section_index:i cfg)
+        in
+        let serial = campaign () in
+        let pooled = campaign ~pool:p () in
+        let identical =
+          same
+            (Array.map (fun r -> r.Campaign.s_classes) serial)
+            (Array.map (fun r -> r.Campaign.s_classes) pooled)
+        in
+        let _, est = wall (fun () -> campaign ()) in
+        let iters = max 1 (min 16 (int_of_float (ceil (0.02 /. Float.max 1e-6 est)))) in
+        let best = ref infinity in
+        for _ = 1 to 3 do
+          let _, sec =
+            wall (fun () ->
+                for _ = 1 to iters do
+                  ignore (campaign ())
+                done)
+          in
+          let per = sec /. float_of_int iters in
+          if per < !best then best := per
+        done;
+        {
+          fr_model = Ff_inject.Fault_model.to_string model;
+          fr_classes = nclasses;
+          fr_sites = nsites;
+          fr_proved = !proved;
+          fr_serial_s = !best;
+          fr_identical = identical;
+        })
+      Ff_inject.Fault_model.builtin
+  in
+  fault_rows := rows;
+  let t =
+    Ff_support.Table.create
+      ~title:"Fault models: LUD (V_none) campaign per model (serial, prover on)"
+      [
+        ("Model", Ff_support.Table.Left);
+        ("Classes", Ff_support.Table.Right);
+        ("Sites", Ff_support.Table.Right);
+        ("Proved", Ff_support.Table.Right);
+        ("Prune", Ff_support.Table.Right);
+        ("Serial s", Ff_support.Table.Right);
+        ("Sites/s", Ff_support.Table.Right);
+        ("Identical", Ff_support.Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Ff_support.Table.add_row t
+        [
+          r.fr_model;
+          string_of_int r.fr_classes;
+          string_of_int r.fr_sites;
+          string_of_int r.fr_proved;
+          Printf.sprintf "%.1f%%" (100.0 *. fr_ratio r);
+          Printf.sprintf "%.3f" r.fr_serial_s;
+          Printf.sprintf "%.0f" (fr_throughput r);
+          string_of_bool r.fr_identical;
+        ])
+    rows;
+  Ff_support.Table.print t;
+  if not (List.for_all (fun r -> r.fr_identical) rows) then begin
+    prerr_endline "FATAL: a fault-model campaign diverged between serial and pooled runs";
+    exit 1
+  end
+
+let emit_faults_json () =
+  match !fault_rows with
+  | [] -> ()
+  | rows ->
+    let buf = Buffer.create 1024 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    add "{\n  \"models\": [";
+    List.iteri
+      (fun i r ->
+        add
+          ("%s\n    { \"model\": %S, \"classes\": %d, \"sites\": %d, \"proved\": %d, "
+          ^^ "\"prune_ratio\": %.4f, \"serial_s\": %.6f, \"throughput_sites_s\": %.1f, "
+          ^^ "\"identical\": %b }")
+          (if i = 0 then "" else ",")
+          r.fr_model r.fr_classes r.fr_sites r.fr_proved (fr_ratio r) r.fr_serial_s
+          (fr_throughput r) r.fr_identical)
+      rows;
+    let identical = List.for_all (fun r -> r.fr_identical) rows in
+    let bitflip_prune =
+      List.fold_left
+        (fun acc r ->
+          if String.length r.fr_model >= 7 && String.sub r.fr_model 0 7 = "bitflip"
+          then Float.max acc (fr_ratio r)
+          else acc)
+        0.0 rows
+    in
+    add "\n  ],\n  \"identical\": %b,\n  \"bitflip_prune_ratio\": %.4f\n}\n" identical
+      bitflip_prune;
+    let oc = open_out "BENCH_faults.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "wrote BENCH_faults.json (%d models, bitflip prune %.1f%%)\n%!"
+      (List.length rows) (100.0 *. bitflip_prune)
+
 (* --- analysis service: cold vs warm latency, concurrent throughput ------ *)
 
 type server_result = {
@@ -593,8 +758,9 @@ let print_server config =
   (* The identity oracle: exactly what `fastflip analyze` would print. *)
   let reference =
     let qconfig =
-      Ff_serve.Engine.config_of ~bits ~samples:query.Protocol.q_samples
-        ~epsilon:query.Protocol.q_epsilon ~prove:query.Protocol.q_prove
+      Ff_serve.Engine.config_of ~model:query.Protocol.q_model ~bits
+        ~samples:query.Protocol.q_samples ~epsilon:query.Protocol.q_epsilon
+        ~prove:query.Protocol.q_prove ()
     in
     let analysis =
       Pipeline.analyze ~store:(Fastflip.Store.create ()) qconfig
@@ -1057,6 +1223,7 @@ let artifacts =
     ("parallel", print_parallel);
     ("vm", print_vm);
     ("prune", print_prune);
+    ("faults", print_faults);
     ("server", print_server);
     ("store", print_store);
   ]
@@ -1125,6 +1292,7 @@ let () =
   if !phase_timings <> [] then emit_parallel_json ~quick ();
   emit_vm_json ();
   emit_prune_json ();
+  emit_faults_json ();
   emit_server_json ();
   emit_store_json ();
   (* The shared store's save-on-exit runs before the metrics export, so

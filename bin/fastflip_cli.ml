@@ -41,10 +41,24 @@ let compile_file path =
 (* The option-to-config mapping lives in Ff_serve.Engine so the one-shot
    commands and the daemon build the exact same configuration — the
    byte-identity contract between [analyze] and [query] depends on it. *)
-let config_of ?(epsilon = 0.0) ~bits ~samples ~no_prove () =
-  Ff_serve.Engine.config_of ~bits ~samples ~epsilon ~prove:(not no_prove)
+let config_of ?(epsilon = 0.0) ?model ~bits ~samples ~no_prove () =
+  Ff_serve.Engine.config_of ?model ~bits ~samples ~epsilon ~prove:(not no_prove) ()
 
 (* --- arguments ----------------------------------------------------------- *)
+
+let fault_model_conv =
+  let parse s =
+    match Ff_inject.Fault_model.of_string s with
+    | Ok m -> Ok m
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv ~docv:"MODEL"
+    (parse, fun fmt m -> Format.pp_print_string fmt (Ff_inject.Fault_model.to_string m))
+
+let fault_model_arg =
+  Arg.(value & opt fault_model_conv Ff_inject.Fault_model.default
+         & info [ "fault-model" ] ~docv:"NAME[:PARAMS]"
+             ~doc:"Fault model for the injection campaign: $(b,bitflip) (the               default single-bit register flip), $(b,bitflip:N) (an N-bit burst),               $(b,skip) (drop one dynamic instruction), $(b,opcode) (corrupt one               bit of the instruction encoding; invalid results are detected, never               undefined), or $(b,memflip)[$(b,:N)] (flip bits of one buffer element               in the section's entry state). The model is part of the store key, so               different models never share cached results; the default hashes               identically to pre-model stores.")
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Kernel-language source file.")
@@ -227,8 +241,8 @@ let run_cmd =
 
 let analyze_cmd =
   let run path target bits samples epsilon store_path strict shards jobs metrics every
-      resume no_prove =
-    let config = config_of ~epsilon ~bits ~samples ~no_prove () in
+      resume no_prove model =
+    let config = config_of ~epsilon ~model ~bits ~samples ~no_prove () in
     let program = compile_file path in
     let analysis =
       with_metrics metrics (fun () ->
@@ -242,13 +256,13 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the full FastFlip analysis on a program and print the selection.")
-    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ store_arg $ strict_store_arg $ shards_arg $ jobs_arg $ metrics_arg $ checkpoint_every_arg $ resume_arg $ no_prove_arg)
+    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ store_arg $ strict_store_arg $ shards_arg $ jobs_arg $ metrics_arg $ checkpoint_every_arg $ resume_arg $ no_prove_arg $ fault_model_arg)
 
 (* --- compare ----------------------------------------------------------------- *)
 
 let compare_cmd =
-  let run path target bits samples epsilon jobs metrics no_prove =
-    let config = config_of ~epsilon ~bits ~samples ~no_prove () in
+  let run path target bits samples epsilon jobs metrics no_prove model =
+    let config = config_of ~epsilon ~model ~bits ~samples ~no_prove () in
     let program = compile_file path in
     let ff, base =
       with_metrics metrics (fun () ->
@@ -275,7 +289,7 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Compare FastFlip's selection against the monolithic baseline.")
-    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ jobs_arg $ metrics_arg $ no_prove_arg)
+    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ jobs_arg $ metrics_arg $ no_prove_arg $ fault_model_arg)
 
 (* --- bench -------------------------------------------------------------------- *)
 
@@ -284,14 +298,14 @@ let bench_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
            ~doc:"Benchmark name (see 'fastflip list').")
   in
-  let run name bits samples jobs metrics no_prove =
+  let run name bits samples jobs metrics no_prove model =
     match Ff_benchmarks.Registry.find name with
     | None ->
       Printf.eprintf "unknown benchmark %s; try: %s\n" name
         (String.concat ", " Ff_benchmarks.Registry.names);
       exit 1
     | Some bench ->
-      let config = config_of ~bits ~samples ~no_prove () in
+      let config = config_of ~model ~bits ~samples ~no_prove () in
       let run =
         with_metrics metrics (fun () ->
             with_jobs jobs (fun pool ->
@@ -320,7 +334,7 @@ let bench_cmd =
       Table.print t
   in
   Cmd.v (Cmd.info "bench" ~doc:"Analyze a built-in benchmark across its three versions.")
-    Term.(const run $ name_arg $ bits_arg $ samples_arg $ jobs_arg $ metrics_arg $ no_prove_arg)
+    Term.(const run $ name_arg $ bits_arg $ samples_arg $ jobs_arg $ metrics_arg $ no_prove_arg $ fault_model_arg)
 
 (* --- serve / query / shutdown -------------------------------------------------- *)
 
@@ -354,7 +368,7 @@ let query_cmd =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"FILE"
            ~doc:"Kernel-language source file.")
   in
-  let run socket path target bits samples epsilon no_prove =
+  let run socket path target bits samples epsilon no_prove model =
     let source = read_file path in
     let query =
       {
@@ -363,6 +377,7 @@ let query_cmd =
         q_samples = samples;
         q_epsilon = epsilon;
         q_prove = not no_prove;
+        q_model = model;
       }
     in
     match Ff_serve.Client.request ~socket (Protocol.Analyze { source; query }) with
@@ -380,7 +395,7 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query"
        ~doc:"Analyze a program via a running $(b,serve) daemon and print the               report — byte-identical to running $(b,analyze) directly, but warm               daemon state (cached analyses, decoded kernels, store records)               answers repeat queries in milliseconds.")
-    Term.(const run $ socket_arg $ file_pos1_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ no_prove_arg)
+    Term.(const run $ socket_arg $ file_pos1_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ no_prove_arg $ fault_model_arg)
 
 let shutdown_cmd =
   let run socket =
@@ -464,6 +479,47 @@ let store_cmd =
     (Cmd.info "store" ~doc:"Inspect and maintain a persistent analysis store.")
     [ store_stat_cmd; store_compact_cmd ]
 
+(* --- security -------------------------------------------------------------------- *)
+
+let security_cmd =
+  let target_pos_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM"
+           ~doc:"Kernel-language source file, or the name of a built-in benchmark                 (see 'fastflip list'; benchmarks analyze their large — modified —                 version, e.g. SHA2's lookup-table compression with its $(b,hit)                 comparison guard).")
+  in
+  let security_model_arg =
+    Arg.(value & opt fault_model_conv Ff_inject.Fault_model.Skip
+           & info [ "fault-model" ] ~docv:"NAME[:PARAMS]"
+               ~doc:"Attacker primitive to campaign with (default $(b,skip):                     glitching one dynamic instruction). Any fault model is                     accepted; $(b,opcode) and $(b,memflip) model encoding and                     memory attacks.")
+  in
+  let run name target bits samples epsilon jobs metrics no_prove model =
+    let program =
+      if Sys.file_exists name then compile_file name
+      else
+        match Ff_benchmarks.Registry.find name with
+        | Some bench ->
+          Ff_lang.Frontend.compile_exn
+            (bench.Ff_benchmarks.Defs.source Ff_benchmarks.Defs.V_large)
+        | None ->
+          Printf.eprintf "fastflip: %s is neither a file nor a benchmark (try: %s)\n"
+            name
+            (String.concat ", " Ff_benchmarks.Registry.names);
+          exit 1
+    in
+    let config = config_of ~epsilon ~model ~bits ~samples ~no_prove () in
+    let result =
+      with_metrics metrics (fun () ->
+          with_jobs jobs (fun pool ->
+              let golden = Ff_vm.Golden.run program in
+              Fastflip.Security.analyze ~pool ~epsilon golden
+                config.Pipeline.campaign))
+    in
+    print_string (Fastflip.Security.report ~target result)
+  in
+  Cmd.v
+    (Cmd.info "security"
+       ~doc:"Attack-surface campaign: inject an attacker-style fault model               (instruction skip by default) end to end, report which sites let a               fault bypass a comparison or silently corrupt state, and what the               knapsack would protect first under that threat model.")
+    Term.(const run $ target_pos_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ jobs_arg $ metrics_arg $ no_prove_arg $ security_model_arg)
+
 (* --- list ---------------------------------------------------------------------- *)
 
 let list_cmd =
@@ -486,5 +542,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; run_cmd; analyze_cmd; compare_cmd; bench_cmd; list_cmd;
-            serve_cmd; query_cmd; shutdown_cmd; store_cmd;
+            security_cmd; serve_cmd; query_cmd; shutdown_cmd; store_cmd;
           ]))

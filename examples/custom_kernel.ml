@@ -40,7 +40,7 @@ let () =
 
   (* Inject a few hand-picked single-bit flips and classify the outcomes. *)
   let inject ~dyn ~operand ~bit =
-    let injection = { Machine.at_dyn = dyn; operand; bit } in
+    let injection = Replay.Fault { Machine.at_dyn = dyn; operand; bit } in
     let replay = Replay.run_section golden section injection ~timeout_factor:5.0 in
     Outcome.of_section_replay replay
   in
@@ -49,7 +49,11 @@ let () =
     (fun (dyn, operand, bit, label) ->
       let outcome = inject ~dyn ~operand ~bit in
       Printf.printf "  dyn=%2d %-6s bit=%2d  ->  %s   (%s)\n" dyn
-        (match operand with Machine.Osrc i -> Printf.sprintf "src%d" i | Machine.Odst -> "dst")
+        (match operand with
+        | Machine.Osrc i -> Printf.sprintf "src%d" i
+        | Machine.Odst -> "dst"
+        | Machine.Oskip -> "skip"
+        | Machine.Oenc -> "enc")
         bit
         (Format.asprintf "%a" Outcome.pp_section outcome)
         label)
@@ -72,7 +76,10 @@ let () =
           ~operand:
             (match cls.Eqclass.operand with
             | Site.Src i -> Machine.Osrc i
-            | Site.Dst -> Machine.Odst)
+            | Site.Dst -> Machine.Odst
+            | Site.Op | Site.Mem _ ->
+              (* default single-bit model: register operands only *)
+              assert false)
           ~bit:cls.Eqclass.bit
       in
       let weight = Eqclass.size cls in

@@ -91,6 +91,12 @@ let w_operand buf = function
   | Site.Dst ->
     w_int buf 1;
     w_int buf 0
+  | Site.Op ->
+    w_int buf 2;
+    w_int buf 0
+  | Site.Mem b ->
+    w_int buf 3;
+    w_int buf b
 
 let r_operand c =
   match r_int c with
@@ -98,6 +104,10 @@ let r_operand c =
   | 1 ->
     ignore (r_int c);
     Site.Dst
+  | 2 ->
+    ignore (r_int c);
+    Site.Op
+  | 3 -> Site.Mem (r_int c)
   | _ -> raise (Corrupt "operand tag")
 
 let w_site buf (site : Site.t) =

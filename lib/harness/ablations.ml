@@ -6,6 +6,7 @@ module Costmodel = Fastflip.Costmodel
 module Campaign = Ff_inject.Campaign
 module Outcome = Ff_inject.Outcome
 module Eqclass = Ff_inject.Eqclass
+module Fault_model = Ff_inject.Fault_model
 module Table = Ff_support.Table
 
 let unmodified run =
@@ -77,7 +78,14 @@ let burst ?(config = Pipeline.default_config) bench =
   List.iter
     (fun burst ->
       let config =
-        { config with Pipeline.campaign = { config.Pipeline.campaign with Campaign.burst } }
+        {
+          config with
+          Pipeline.campaign =
+            {
+              config.Pipeline.campaign with
+              Campaign.model = Fault_model.Bitflip { burst };
+            };
+        }
       in
       let ff = Pipeline.analyze config program in
       let masked = ref 0 and sdc = ref 0 and detected = ref 0 in

@@ -46,10 +46,37 @@ let tally_section_outcomes classes =
           else Telemetry.incr m_sdc)
       classes
 
+(* Per-model outcome tallies under [campaign.model.<name>.*], on top of
+   the aggregate [campaign.outcome.*] counters — a mixed-model metrics
+   export (e.g. the serve daemon answering queries under several models)
+   stays attributable. Interning is idempotent and only reached when
+   telemetry is on, so the hot path never pays the string append. *)
+let model_counter model suffix =
+  Telemetry.counter ("campaign.model." ^ Fault_model.name model ^ "." ^ suffix)
+
+let tally_model_section_outcomes model classes =
+  if Telemetry.enabled () then begin
+    let masked = model_counter model "outcome.masked"
+    and sdc = model_counter model "outcome.sdc"
+    and crash = model_counter model "outcome.crash"
+    and timeout = model_counter model "outcome.timeout"
+    and misformatted = model_counter model "outcome.misformatted" in
+    Array.iter
+      (fun (_, outcome) ->
+        match outcome with
+        | Outcome.S_detected Outcome.Crash -> Telemetry.incr crash
+        | Outcome.S_detected Outcome.Timed_out -> Telemetry.incr timeout
+        | Outcome.S_detected Outcome.Misformatted -> Telemetry.incr misformatted
+        | Outcome.S_sdc _ ->
+          if Outcome.section_is_masked outcome then Telemetry.incr masked
+          else Telemetry.incr sdc)
+      classes
+  end
+
 type config = {
   bits : Site.bit_policy;
   timeout_factor : float;
-  burst : int;
+  model : Fault_model.t;
   prove : Prover.policy;
 }
 
@@ -57,7 +84,7 @@ let default_config =
   {
     bits = Site.default_bits;
     timeout_factor = 5.0;
-    burst = 1;
+    model = Fault_model.default;
     prove = Prover.default_policy;
   }
 
@@ -65,7 +92,10 @@ let config_hash config =
   let h = Hashing.create () in
   List.iter (Hashing.add_int h) (Site.bits_of_policy config.bits);
   Hashing.add_float h config.timeout_factor;
-  Hashing.add_int h config.burst;
+  (* The default model's contribution is bit-identical to the plain burst
+     integer this field used to be, so pre-model stores and journals stay
+     warm; see Fault_model.hash_fold. *)
+  Fault_model.hash_fold h config.model;
   (* The prover policy hash covers Prover.version, so stored records and
      checkpoint journals never mix prover generations or prove-on/off
      runs — a prover bug can be bisected with FF_PROVE=off without any
@@ -97,19 +127,34 @@ let on_retry _ = Telemetry.incr m_retries
 (* A replay whose execution itself faults (a pathological kernel blowing
    the interpreter stack, say) is quarantined by the pool rather than
    aborting the campaign; a crashed replay is by definition a detected
-   outcome, and it executed nothing we can meter, so it costs 0 work. *)
-let quarantined_section (_ : exn) =
+   outcome, and it executed nothing we can meter, so it costs 0 work.
+   The quarantine receives the class it stands in for: the substituted
+   outcome applies to that exact class key — which under the skip, opcode
+   and memflip models is an [Op]/[Mem] operand, not a register-flip
+   triple — and the class's member sites are tallied under the faulting
+   model, so a quarantined class is visible in the per-model metrics
+   instead of silently folding into the aggregate crash count. *)
+let tally_quarantined ~model (cls : Eqclass.t) =
   Telemetry.incr m_quarantined;
+  if Telemetry.enabled () then begin
+    Telemetry.incr (model_counter model "quarantined");
+    Telemetry.add (model_counter model "quarantined.sites") (Eqclass.size cls)
+  end
+
+let quarantined_section ~model cls (_ : exn) =
+  tally_quarantined ~model cls;
   (Outcome.S_detected Outcome.Crash, 0)
 
-let quarantined_final (_ : exn) =
-  Telemetry.incr m_quarantined;
+let quarantined_final ~model cls (_ : exn) =
+  tally_quarantined ~model cls;
   (Outcome.F_detected Outcome.Crash, 0)
 
-let run_plain ~pool ~quarantined run_one classes =
-  Array.map
-    (function Ok r -> r | Error e -> quarantined e)
-    (Pool.map_array_result ~on_retry pool run_one classes)
+(* [quarantined] is item-aware: it gets the element whose replay raised,
+   so the substitute outcome can be attributed to the right class. *)
+let run_plain ~pool ~quarantined run_one items =
+  Array.mapi
+    (fun k -> function Ok r -> r | Error e -> quarantined items.(k) e)
+    (Pool.map_array_result ~on_retry pool run_one items)
 
 (* The prover pre-pass: one slot per class, proved classes decided with
    zero replays and zero metered work. Returns the residual class
@@ -134,8 +179,10 @@ let prove_slots proofs slots =
    for a fixed store key (which folds the prover policy hash), so the
    residual index set of a resumed run always matches the killed one. *)
 let run_journaled ~pool ~journal:j ~quarantined run_one indices slots =
-  let checked results =
-    Array.map (function Ok r -> r | Error e -> quarantined e) results
+  let checked batch results =
+    Array.mapi
+      (fun k -> function Ok r -> r | Error e -> quarantined batch.(k) e)
+      results
   in
   begin
     if j.j_every < 1 then invalid_arg "Campaign.run_journaled: journal step must be >= 1";
@@ -154,7 +201,7 @@ let run_journaled ~pool ~journal:j ~quarantined run_one indices slots =
     while !start < m do
       let b = min j.j_every (m - !start) in
       let batch = Array.sub todo !start b in
-      let results = checked (Pool.map_array_result ~on_retry pool run_one batch) in
+      let results = checked batch (Pool.map_array_result ~on_retry pool run_one batch) in
       Array.iteri (fun k i -> slots.(i) <- Some results.(k)) batch;
       j.j_append
         (Array.to_list
@@ -174,34 +221,35 @@ let run_section ?(pool = Pool.serial) ?(engine = Replay.default_engine) ?classes
     ~attrs:[ ("section", string_of_int section_index) ]
   @@ fun () ->
   let section = golden.Golden.sections.(section_index) in
+  let model = config.model in
   let class_list =
     match classes with
     | Some l -> l
-    | None -> Eqclass.for_section section config.bits
+    | None -> Eqclass.for_section ~model section config.bits
   in
   let classes = Array.of_list class_list in
   let n = Array.length classes in
   let proofs =
     Prover.prove_section golden ~section_index ~timeout_factor:config.timeout_factor
-      ~burst:config.burst config.prove classes
+      ~model config.prove classes
   in
   let slots = Array.make n None in
   let residual = prove_slots proofs slots in
   let run_one i =
     let cls = classes.(i) in
-    let injection = Site.machine_injection cls.Eqclass.pilot in
+    let injection = Site.replay_injection ~model cls.Eqclass.pilot in
     let replay =
-      Replay.run_section ~burst:config.burst ~engine golden section injection
-        ~timeout_factor:config.timeout_factor
+      Replay.run_section ~burst:(Fault_model.reg_burst model) ~engine golden section
+        injection ~timeout_factor:config.timeout_factor
     in
     (Outcome.of_section_replay replay, replay.Replay.s_executed)
   in
+  let quarantined i e = quarantined_section ~model classes.(i) e in
   (match journal with
   | None ->
-    let results = run_plain ~pool ~quarantined:quarantined_section run_one residual in
+    let results = run_plain ~pool ~quarantined run_one residual in
     Array.iteri (fun k i -> slots.(i) <- Some results.(k)) residual
-  | Some journal ->
-    run_journaled ~pool ~journal ~quarantined:quarantined_section run_one residual slots);
+  | Some journal -> run_journaled ~pool ~journal ~quarantined run_one residual slots);
   let tagged =
     Array.mapi
       (fun i slot ->
@@ -226,6 +274,7 @@ let run_section ?(pool = Pool.serial) ?(engine = Replay.default_engine) ?classes
   Telemetry.add m_work result.s_work;
   Telemetry.observe h_section_work result.s_work;
   tally_section_outcomes result.s_classes;
+  tally_model_section_outcomes model result.s_classes;
   result
 
 type baseline_result = {
@@ -237,14 +286,16 @@ type baseline_result = {
 
 let run_baseline ?(pool = Pool.serial) ?(engine = Replay.default_engine) golden config =
   Telemetry.span "campaign.run_baseline" @@ fun () ->
-  let class_list = Eqclass.for_program golden config.bits in
+  let model = config.model in
+  let class_list = Eqclass.for_program ~model golden config.bits in
   let classes = Array.of_list class_list in
   let outcomes =
-    run_plain ~pool ~quarantined:quarantined_final
+    run_plain ~pool
+      ~quarantined:(fun cls e -> quarantined_final ~model cls e)
       (fun cls ->
-        let injection = Site.machine_injection cls.Eqclass.pilot in
+        let injection = Site.replay_injection ~model cls.Eqclass.pilot in
         let replay =
-          Replay.run_to_end ~burst:config.burst ~engine golden
+          Replay.run_to_end ~burst:(Fault_model.reg_burst model) ~engine golden
             ~from_section:cls.Eqclass.pilot.Site.section injection
             ~timeout_factor:config.timeout_factor
         in
@@ -274,26 +325,28 @@ let final_outcomes_for_section ?(pool = Pool.serial) ?(engine = Replay.default_e
   (* Callers that already ran the per-section campaign (the pipeline's
      §4.10 "simultaneous" mode) pass its classes back in rather than
      paying the enumeration again; the fallback re-enumerates. *)
+  let model = config.model in
   let classes =
     match classes with
     | Some c -> c
     | None ->
       let section = golden.Golden.sections.(section_index) in
-      Array.of_list (Eqclass.for_section section config.bits)
+      Array.of_list (Eqclass.for_section ~model section config.bits)
   in
   let proofs =
     Prover.prove_final golden ~section_index ~timeout_factor:config.timeout_factor
-      ~burst:config.burst config.prove classes
+      ~model config.prove classes
   in
   let slots = Array.make (Array.length classes) None in
   let residual = prove_slots proofs slots in
   let results =
-    run_plain ~pool ~quarantined:quarantined_final
+    run_plain ~pool
+      ~quarantined:(fun i e -> quarantined_final ~model classes.(i) e)
       (fun i ->
         let cls = classes.(i) in
-        let injection = Site.machine_injection cls.Eqclass.pilot in
+        let injection = Site.replay_injection ~model cls.Eqclass.pilot in
         let replay =
-          Replay.run_to_end ~burst:config.burst ~engine golden
+          Replay.run_to_end ~burst:(Fault_model.reg_burst model) ~engine golden
             ~from_section:section_index injection
             ~timeout_factor:config.timeout_factor
         in

@@ -15,24 +15,27 @@
 type config = {
   bits : Site.bit_policy;
   timeout_factor : float;  (** budget multiple over nominal runtime; 5.0 *)
-  burst : int;             (** bits flipped per injection: 1 is the paper's
-                               single-event-upset model; larger widths model
-                               multi-bit upsets on adjacent bits (§4.8) *)
+  model : Fault_model.t;   (** the fault model: what a site is, what an
+                               injection does, and what the prover may
+                               decide. {!Fault_model.default} is the
+                               paper's single-bit register flip *)
   prove : Prover.policy;   (** static outcome prover pre-pass: proved classes
                                record their outcome with zero injections;
                                {!Prover.off} replays everything *)
 }
 
 val default_config : config
-(** {!Site.default_bits}, timeout factor 5, single-bit flips, prover per
-    {!Prover.default_policy} (on unless [FF_PROVE=off]). *)
+(** {!Site.default_bits}, timeout factor 5, single-bit register flips,
+    prover per {!Prover.default_policy} (on unless [FF_PROVE=off]). *)
 
 val config_hash : config -> int64
 (** Key component for the incremental analysis store: results are only
-    reusable under the same campaign configuration. Folds
-    {!Prover.policy_hash} (prover version included), so prove-on and
-    prove-off runs — and different prover generations — never share
-    cached records or checkpoint journals. *)
+    reusable under the same campaign configuration. Folds the fault model
+    ({!Fault_model.hash_fold} — the default model hashes identically to
+    the pre-model engine, so existing stores stay warm) and
+    {!Prover.policy_hash} (prover version included), so different models,
+    prove-on and prove-off runs — and different prover generations —
+    never share cached records or checkpoint journals. *)
 
 type section_result = {
   section_index : int;
@@ -98,9 +101,11 @@ val run_section :
 
     Replays are {e quarantined} ({!Ff_support.Pool.map_array_result}): a
     replay that raises is retried once and then recorded as a
-    [S_detected Crash] outcome with 0 work for its class alone, counted
-    under [campaign.retries] / [campaign.quarantined], instead of
-    aborting the campaign. *)
+    [S_detected Crash] outcome with 0 work against its own class key —
+    whatever the model's operand shape ([Src]/[Dst], [Op] or [Mem]) —
+    counted under [campaign.retries] / [campaign.quarantined] and the
+    per-model [campaign.model.<name>.quarantined(.sites)] counters,
+    instead of aborting the campaign. *)
 
 type baseline_result = {
   b_classes : (Eqclass.t * Outcome.final_outcome) array;

@@ -26,17 +26,43 @@ type t = {
   pilot : Site.t;
 }
 
+type group = {
+  g_pc : Site.pc;
+  g_operand : Site.operand;
+  g_members : (int * int) array;
+  (** (section index, dynamic index) of every member site, trace order *)
+  g_representative : int * int;
+  (** the median member — the site every class over this group pilots
+      with, exposed so the prover and campaign share one definition
+      instead of re-deriving the walk *)
+}
+(** A maximal set of sites that differ only in their dynamic instance:
+    one per (pc, operand) target of the fault model, before the bit
+    dimension multiplies it into classes. *)
+
 val size : t -> int
 (** Number of member sites. *)
 
 val members_in_section : t -> int -> int
 (** How many members the class has inside a given section. *)
 
-val for_section : Ff_vm.Golden.section_run -> Site.bit_policy -> t list
-(** Classes of one section instance, in deterministic (pc, operand, bit)
-    order. *)
+val groups_of_section :
+  ?model:Fault_model.t -> Ff_vm.Golden.section_run -> group list
+(** The class groups of one section instance under the model (default
+    {!Fault_model.default}), in deterministic (pc, operand) order. *)
 
-val for_program : Ff_vm.Golden.t -> Site.bit_policy -> t list
+val classes_of_groups : group list -> int list -> t list
+(** Expand groups over a bit list into classes, pilot = the group's
+    representative, in deterministic (pc, operand, bit) order. *)
+
+val for_section :
+  ?model:Fault_model.t -> Ff_vm.Golden.section_run -> Site.bit_policy -> t list
+(** Classes of one section instance, in deterministic (pc, operand, bit)
+    order. Equivalent to [classes_of_groups (groups_of_section ...)]
+    over {!Site.model_bits}. *)
+
+val for_program :
+  ?model:Fault_model.t -> Ff_vm.Golden.t -> Site.bit_policy -> t list
 (** Whole-trace classes, in deterministic order. *)
 
 val total_sites : t list -> int

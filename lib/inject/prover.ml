@@ -418,6 +418,10 @@ let walk sp ~at_dyn ~operand ~bit =
         if not (Value.equal f g) then set_reg d (Some f)
       end;
       at_dyn + 1
+    | Site.Op | Site.Mem _ ->
+      (* prove_class filters these out; the walk only mirrors register
+         flips *)
+      invalid_arg "Prover.walk: non-register operand"
   in
   (* Static fast path: a destination flip into a register that is dead
      after its pc is overwritten before any read on every path — no walk
@@ -430,7 +434,7 @@ let walk sp ~at_dyn ~operand ~bit =
       let pc = trace.(at_dyn) in
       let d = Decode.dst_at decoded pc in
       not (Liveness.live_out sp.liveness ~pc ~reg:d)
-    | Site.Src _ -> false
+    | Site.Src _ | Site.Op | Site.Mem _ -> false
   in
   if statically_dead then W_complete (Hashtbl.create 1)
   else begin
@@ -604,10 +608,18 @@ let section_outcome_of_mem sp mem =
     end
   end
 
+(* Operand shapes the taint walk can mirror: register flips only. [Op]
+   and [Mem] pilots come from models that abstain wholesale before
+   reaching here, but the guard keeps each class prover total. *)
+let walkable = function
+  | Site.Src _ | Site.Dst -> true
+  | Site.Op | Site.Mem _ -> false
+
 let prove_class sp (cls : Eqclass.t) =
   let pilot = cls.Eqclass.pilot in
   if
-    pilot.Site.section <> sp.section.Golden.section_index
+    (not (walkable pilot.Site.operand))
+    || pilot.Site.section <> sp.section.Golden.section_index
     || pilot.Site.dyn < 0
     || pilot.Site.dyn >= sp.section.Golden.dyn_count
   then None
@@ -620,7 +632,8 @@ let prove_class sp (cls : Eqclass.t) =
 let prove_final_class sp (cls : Eqclass.t) =
   let pilot = cls.Eqclass.pilot in
   if
-    pilot.Site.section <> sp.section.Golden.section_index
+    (not (walkable pilot.Site.operand))
+    || pilot.Site.section <> sp.section.Golden.section_index
     || pilot.Site.dyn < 0
     || pilot.Site.dyn >= sp.section.Golden.dyn_count
   then None
@@ -640,10 +653,21 @@ let tally_proof = function
   | Outcome.S_sdc _ as o ->
     if Outcome.section_is_masked o then Telemetry.incr m_masked else Telemetry.incr m_benign
 
-let prove_section golden ~section_index ~timeout_factor ~burst policy classes =
+(* Register bursts reuse the taint walk bit for bit ({!Machine.burst_bits}
+   is the shared mask); every other model abstains wholesale — skip and
+   encoding corruption change control flow, memory flips perturb state the
+   recording never captured. Abstention is the sound default: undecided
+   classes replay as usual, so the prover still never disagrees. *)
+let reg_burst_of = function
+  | Fault_model.Bitflip { burst } -> Some burst
+  | Fault_model.Skip | Fault_model.Opcode | Fault_model.Memflip _ -> None
+
+let prove_section golden ~section_index ~timeout_factor ~model policy classes =
   if not policy.enabled then Array.map (fun _ -> None) classes
   else
-    match prepare golden ~section_index ~timeout_factor policy ~burst with
+    match Option.bind (reg_burst_of model) (fun burst ->
+              prepare golden ~section_index ~timeout_factor policy ~burst)
+    with
     | None ->
       Telemetry.add m_undecided (Array.length classes);
       Array.map (fun _ -> None) classes
@@ -660,10 +684,12 @@ let prove_section golden ~section_index ~timeout_factor ~burst policy classes =
             None)
         classes
 
-let prove_final golden ~section_index ~timeout_factor ~burst policy classes =
+let prove_final golden ~section_index ~timeout_factor ~model policy classes =
   if not policy.enabled then Array.map (fun _ -> None) classes
   else
-    match prepare golden ~section_index ~timeout_factor policy ~burst with
+    match Option.bind (reg_burst_of model) (fun burst ->
+              prepare golden ~section_index ~timeout_factor policy ~burst)
+    with
     | None ->
       Telemetry.add m_final_undecided (Array.length classes);
       Array.map (fun _ -> None) classes

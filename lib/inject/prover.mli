@@ -61,7 +61,7 @@ val prove_section :
   Ff_vm.Golden.t ->
   section_index:int ->
   timeout_factor:float ->
-  burst:int ->
+  model:Fault_model.t ->
   policy ->
   Eqclass.t array ->
   Outcome.section_outcome option array
@@ -70,13 +70,21 @@ val prove_section :
     report exactly that outcome. Bumps the [prover.classes_*] telemetry
     counters. A disabled policy, an unrecordable section (budget below
     the golden schedule, self-validation failure, non-finite golden
-    exit) or an out-of-section pilot yields [None] rows. *)
+    exit) or an out-of-section pilot yields [None] rows.
+
+    The walk mirrors register flips only, so only {!Fault_model.Bitflip}
+    classes are ever decided (any burst width — the walk flips the same
+    {!Ff_vm.Machine.burst_bits} mask the replay does). Under skip,
+    encoding-corruption and memory-flip models the prover abstains
+    wholesale: every row is [None], counted as undecided. Abstention
+    keeps the soundness contract trivially — those classes replay as
+    usual and the prover still never disagrees with the oracle. *)
 
 val prove_final :
   Ff_vm.Golden.t ->
   section_index:int ->
   timeout_factor:float ->
-  burst:int ->
+  model:Fault_model.t ->
   policy ->
   Eqclass.t array ->
   Outcome.final_outcome option array

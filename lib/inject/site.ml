@@ -9,6 +9,8 @@ type pc = {
 type operand =
   | Src of int
   | Dst
+  | Op
+  | Mem of int
 
 type t = {
   section : int;
@@ -26,6 +28,17 @@ let bits_of_policy = function
   | All_bits -> List.init 64 Fun.id
   | Bit_list bits -> bits
 
+(* The bits a model actually injects at each of its sites: register and
+   memory flips use the policy verbatim, a skip has no bit dimension, and
+   encoding corruption restricts the policy to the flippable encoding
+   field bits so every enumerated site is a real distinct fault. *)
+let model_bits model policy =
+  match model with
+  | Fault_model.Bitflip _ | Fault_model.Memflip _ -> bits_of_policy policy
+  | Fault_model.Skip -> [ 0 ]
+  | Fault_model.Opcode ->
+    List.filter (fun b -> List.mem b Machine.encoding_bits) (bits_of_policy policy)
+
 let compare_pc a b =
   match compare a.kernel b.kernel with 0 -> compare a.instr b.instr | c -> c
 
@@ -34,6 +47,8 @@ let pp_pc fmt { kernel; instr } = Format.fprintf fmt "k%d:%d" kernel instr
 let pp_operand fmt = function
   | Src i -> Format.fprintf fmt "src%d" i
   | Dst -> Format.pp_print_string fmt "dst"
+  | Op -> Format.pp_print_string fmt "op"
+  | Mem b -> Format.fprintf fmt "mem%d" b
 
 let pp fmt t =
   Format.fprintf fmt "s%d@%d %a %a bit%d" t.section t.dyn pp_pc t.pc pp_operand t.operand
@@ -48,37 +63,107 @@ let operand_count instr =
 
 let machine_injection t =
   let operand =
-    match t.operand with Src i -> Machine.Osrc i | Dst -> Machine.Odst
+    match t.operand with
+    | Src i -> Machine.Osrc i
+    | Dst -> Machine.Odst
+    | Op | Mem _ ->
+      (* Which Machine operand an [Op] site means (skip vs encoding) is the
+         fault model's call, and a [Mem] site is not a Machine injection at
+         all — callers must go through [replay_injection]. *)
+      invalid_arg "Site.machine_injection: model-dependent operand"
   in
   { Machine.at_dyn = t.dyn; operand; bit = t.bit }
 
-let count_section (section : Golden.section_run) policy =
-  let bits = List.length (bits_of_policy policy) in
-  let decoded = section.Golden.decoded in
-  Array.fold_left
-    (fun acc pc -> acc + (Decode.noperands decoded pc * bits))
-    0 section.Golden.trace
+let replay_injection ~model t =
+  match (t.operand, model) with
+  | Mem b, _ ->
+    let burst =
+      match model with Fault_model.Memflip { burst } -> burst | _ -> 1
+    in
+    Replay.Mem_flip
+      { Replay.mf_buffer = b; mf_elem = t.dyn; mf_bits = Machine.burst_bits ~bit:t.bit ~burst }
+  | Op, Fault_model.Skip ->
+    Replay.Fault { Machine.at_dyn = t.dyn; operand = Machine.Oskip; bit = 0 }
+  | Op, _ -> Replay.Fault { Machine.at_dyn = t.dyn; operand = Machine.Oenc; bit = t.bit }
+  | (Src _ | Dst), _ -> Replay.Fault (machine_injection t)
 
-let iter_section (section : Golden.section_run) policy f =
-  let bits = bits_of_policy policy in
-  let decoded = section.Golden.decoded in
-  (* One operand list per static instruction, not per dynamic trace
-     element: traces revisit the same few pcs thousands of times. *)
-  let per_pc_operands =
-    Array.init (Decode.length decoded) (fun pc_idx ->
-        let srcs = List.init (Decode.nsrcs decoded pc_idx) (fun i -> Src i) in
-        if Decode.dst_at decoded pc_idx >= 0 then srcs @ [ Dst ] else srcs)
-  in
-  Array.iteri
-    (fun dyn pc_idx ->
-      let pc = { kernel = section.Golden.kernel_index; instr = pc_idx } in
-      List.iter
-        (fun operand ->
+(* The distinct program buffers a section binds, ascending: the memory
+   targets of the memflip model. A buffer bound to two slots is one
+   target, not two. *)
+let bound_buffers (section : Golden.section_run) =
+  Array.map fst section.Golden.bindings |> Array.to_list |> List.sort_uniq compare
+
+let count_section ?(model = Fault_model.default) (section : Golden.section_run) policy =
+  match model with
+  | Fault_model.Bitflip _ ->
+    let bits = List.length (bits_of_policy policy) in
+    let decoded = section.Golden.decoded in
+    Array.fold_left
+      (fun acc pc -> acc + (Decode.noperands decoded pc * bits))
+      0 section.Golden.trace
+  | Fault_model.Skip | Fault_model.Opcode ->
+    Array.length section.Golden.trace * List.length (model_bits model policy)
+  | Fault_model.Memflip _ ->
+    let bits = List.length (bits_of_policy policy) in
+    List.fold_left
+      (fun acc buf -> acc + (Array.length section.Golden.entry_state.(buf) * bits))
+      0 (bound_buffers section)
+
+let iter_section ?(model = Fault_model.default) (section : Golden.section_run) policy f =
+  match model with
+  | Fault_model.Bitflip _ ->
+    let bits = bits_of_policy policy in
+    let decoded = section.Golden.decoded in
+    (* One operand list per static instruction, not per dynamic trace
+       element: traces revisit the same few pcs thousands of times. *)
+    let per_pc_operands =
+      Array.init (Decode.length decoded) (fun pc_idx ->
+          let srcs = List.init (Decode.nsrcs decoded pc_idx) (fun i -> Src i) in
+          if Decode.dst_at decoded pc_idx >= 0 then srcs @ [ Dst ] else srcs)
+    in
+    Array.iteri
+      (fun dyn pc_idx ->
+        let pc = { kernel = section.Golden.kernel_index; instr = pc_idx } in
+        List.iter
+          (fun operand ->
+            List.iter
+              (fun bit ->
+                f { section = section.Golden.section_index; dyn; pc; operand; bit })
+              bits)
+          per_pc_operands.(pc_idx))
+      section.Golden.trace
+  | Fault_model.Skip | Fault_model.Opcode ->
+    let bits = model_bits model policy in
+    Array.iteri
+      (fun dyn pc_idx ->
+        let pc = { kernel = section.Golden.kernel_index; instr = pc_idx } in
+        List.iter
+          (fun bit ->
+            f { section = section.Golden.section_index; dyn; pc; operand = Op; bit })
+          bits)
+      section.Golden.trace
+  | Fault_model.Memflip _ ->
+    let bits = bits_of_policy policy in
+    (* One site per (buffer, element, bit); [dyn] doubles as the element
+       index and the pc anchors the site to the section's kernel. *)
+    let pc = { kernel = section.Golden.kernel_index; instr = 0 } in
+    List.iter
+      (fun buf ->
+        let len = Array.length section.Golden.entry_state.(buf) in
+        for elem = 0 to len - 1 do
           List.iter
-            (fun bit -> f { section = section.Golden.section_index; dyn; pc; operand; bit })
-            bits)
-        per_pc_operands.(pc_idx))
-    section.Golden.trace
+            (fun bit ->
+              f
+                {
+                  section = section.Golden.section_index;
+                  dyn = elem;
+                  pc;
+                  operand = Mem buf;
+                  bit;
+                })
+            bits
+        done)
+      (bound_buffers section)
 
 let default_bits =
   Bit_list [ 0; 1; 2; 3; 7; 11; 15; 23; 31; 39; 47; 51; 54; 58; 62; 63 ]

@@ -17,7 +17,8 @@ let m_slow_path = Telemetry.counter "serve.slow_path"
 let m_latency = Telemetry.histogram ~volatile:true "serve.latency_us"
 let m_warm_latency = Telemetry.histogram ~volatile:true "serve.warm_latency_us"
 
-let config_of ~bits ~samples ~epsilon ~prove =
+let config_of ?(model = Ff_inject.Fault_model.default) ~bits ~samples ~epsilon
+    ~prove () =
   let bit_list =
     match bits with
     | [] -> Site.default_bits
@@ -29,14 +30,15 @@ let config_of ~bits ~samples ~epsilon ~prove =
   {
     Pipeline.default_config with
     Pipeline.campaign =
-      { Campaign.default_config with Campaign.bits = bit_list; prove };
+      { Campaign.default_config with Campaign.bits = bit_list; model; prove };
     sensitivity_samples = samples;
     epsilon;
   }
 
 let config_of_query (q : Protocol.query) =
-  config_of ~bits:q.Protocol.q_bits ~samples:q.Protocol.q_samples
-    ~epsilon:q.Protocol.q_epsilon ~prove:q.Protocol.q_prove
+  config_of ~model:q.Protocol.q_model ~bits:q.Protocol.q_bits
+    ~samples:q.Protocol.q_samples ~epsilon:q.Protocol.q_epsilon
+    ~prove:q.Protocol.q_prove ()
 
 (* The warm-state key: program text plus the full analysis configuration
    (the knapsack target is deliberately excluded — selection at any

@@ -55,12 +55,14 @@ val handle : t -> Protocol.request -> Protocol.response
     server's job. *)
 
 val config_of :
+  ?model:Ff_inject.Fault_model.t ->
   bits:int list ->
   samples:int ->
   epsilon:float ->
   prove:bool ->
+  unit ->
   Fastflip.Pipeline.config
 (** The CLI's option-to-config mapping, shared by the one-shot commands
     and the daemon so both sides of the byte-identity contract build the
     exact same analysis configuration. [bits = []] means the default
-    stratified subset. *)
+    stratified subset; [model] defaults to single-bit register flips. *)

@@ -1,5 +1,6 @@
 module Wire = Fastflip.Wire
 module Hashing = Ff_support.Hashing
+module Fault_model = Ff_inject.Fault_model
 
 type query = {
   q_target : float;
@@ -7,10 +8,18 @@ type query = {
   q_samples : int;
   q_epsilon : float;
   q_prove : bool;
+  q_model : Fault_model.t;
 }
 
 let default_query =
-  { q_target = 0.9; q_bits = []; q_samples = 200; q_epsilon = 0.0; q_prove = true }
+  {
+    q_target = 0.9;
+    q_bits = [];
+    q_samples = 200;
+    q_epsilon = 0.0;
+    q_prove = true;
+    q_model = Fault_model.default;
+  }
 
 type request =
   | Ping
@@ -37,7 +46,8 @@ let w_query buf q =
   Wire.w_list buf Wire.w_int q.q_bits;
   Wire.w_int buf q.q_samples;
   Wire.w_float buf q.q_epsilon;
-  Wire.w_int buf (if q.q_prove then 1 else 0)
+  Wire.w_int buf (if q.q_prove then 1 else 0);
+  Wire.w_string buf (Fault_model.to_string q.q_model)
 
 let r_bool c what =
   match Wire.r_int c with
@@ -51,9 +61,14 @@ let r_query c =
   let q_samples = Wire.r_int c in
   let q_epsilon = Wire.r_float c in
   let q_prove = r_bool c "query prove flag" in
+  let q_model =
+    match Fault_model.of_string (Wire.r_string c "query fault model") with
+    | Ok m -> m
+    | Error msg -> raise (Wire.Corrupt ("bad fault model: " ^ msg))
+  in
   if not (Float.is_finite q_target) then raise (Wire.Corrupt "non-finite target");
   if q_samples < 0 then raise (Wire.Corrupt "negative sample count");
-  { q_target; q_bits; q_samples; q_epsilon; q_prove }
+  { q_target; q_bits; q_samples; q_epsilon; q_prove; q_model }
 
 let encode_request req =
   let buf = Buffer.create 256 in

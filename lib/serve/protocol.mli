@@ -21,11 +21,15 @@ type query = {
   q_samples : int;    (** sensitivity samples per input *)
   q_epsilon : float;  (** SDC-Bad threshold ε *)
   q_prove : bool;     (** static outcome prover pre-pass on/off *)
+  q_model : Ff_inject.Fault_model.t;
+      (** fault model for the campaign; encoded on the wire in its
+          {!Ff_inject.Fault_model.to_string} form and re-parsed (and so
+          validated) on decode *)
 }
 
 val default_query : query
 (** The one-shot CLI's defaults: target 0.9, default bits, 200 samples,
-    ε = 0, prover on. *)
+    ε = 0, prover on, single-bit register flips. *)
 
 type request =
   | Ping

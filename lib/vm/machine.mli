@@ -32,6 +32,15 @@ type operand =
                      just before the instruction reads it; the corruption
                      persists in the register *)
   | Odst         (** destination register, flipped just after the write *)
+  | Oskip        (** the instruction is fetched (it records in the trace
+                     and counts against the budget) but not executed;
+                     control falls through to [pc + 1], and falling off
+                     the end of the kernel traps [Type_confusion] *)
+  | Oenc         (** one bit ([injection.bit], see {!encoding_bits}) of the
+                     packed encoding is XORed for this one execution; the
+                     corrupted tuple is re-validated against the decode
+                     tables, so illegal encodings trap [Type_confusion]
+                     instead of being UB. Requires [exec]'s [?decoded]. *)
 
 type injection = {
   at_dyn : int;   (** dynamic instruction index within this section run *)
@@ -80,6 +89,34 @@ val burst_bits : bit:int -> burst:int -> int list
     single-event-upset model; larger widths model multi-bit upsets
     (§4.8 supports them within a single section). *)
 
+val encoding_field_bits : int
+(** Flippable low bits per packed encoding field. *)
+
+val encoding_bits : int list
+(** The bit indices an [Oenc] injection may target: bit [field * 8 + b]
+    flips bit [b] of packed field [field] (0 opcode, 1 a, 2 b, 3 c,
+    4 dst), for [b < encoding_field_bits]. *)
+
+type step_env = {
+  se_read : int -> Ff_ir.Value.t;
+  se_write : int -> Ff_ir.Value.t -> unit;
+  se_load : int -> int64 -> Ff_ir.Value.t;  (** slot, index *)
+  se_store : int -> int64 -> Ff_ir.Value.t -> unit;
+}
+(** State accessors handed to {!exec_corrupt_step} so both engines run the
+    one shared corrupted-instruction dispatch over their own register and
+    buffer representations — this sharing is what makes the [Oenc] model
+    bit-identical across engines by construction. Accessors raise {!Trap}
+    for out-of-range buffer indices; register indices are validated by the
+    step itself before any access. *)
+
+val exec_corrupt_step : Decode.t -> pc:int -> bit:int -> step_env -> int
+(** Execute the instruction at static [pc] with [bit] XORed into its
+    packed encoding, re-validated against the decode tables. Returns the
+    next pc, or [-1] for halt; raises {!Trap} ([Type_confusion] for every
+    illegal corrupted encoding, plus whatever the executed instruction
+    itself traps). *)
+
 val exec :
   Ff_ir.Kernel.t ->
   scalars:Ff_ir.Value.t list ->
@@ -99,8 +136,9 @@ val exec :
     appended to it. [decoded] must be the decoding of this very kernel
     when given; it lets injected replays address the flipped operand
     through the decode-time operand tables instead of allocating an
-    operand list. Raises [Invalid_argument] if the scalar count does not
-    match the kernel signature or the buffer array has the wrong arity. *)
+    operand list, and it is required for an [Oenc] injection. Raises
+    [Invalid_argument] if the scalar count does not match the kernel
+    signature or the buffer array has the wrong arity. *)
 
 val telemetry_record : status -> executed:int -> unit
 (** Bump the per-exec VM telemetry (execs, instructions, trap kinds) for

@@ -1,8 +1,19 @@
 open Ff_ir
+module A1 = Bigarray.Array1
 
 type anomaly =
   | Trap of Machine.trap
   | Timeout
+
+type mem_flip = {
+  mf_buffer : int;
+  mf_elem : int;
+  mf_bits : int list;
+}
+
+type injection =
+  | Fault of Machine.injection
+  | Mem_flip of mem_flip
 
 type engine =
   | Boxed
@@ -58,6 +69,34 @@ let status_anomaly = function
   | Machine.Trapped t -> Some (Trap t)
   | Machine.Out_of_budget -> Some Timeout
 
+(* Entry-state corruption for the memory-flip model, applied before the
+   engine starts. The two appliers are bit-equivalent: [Value.flip_bit]
+   XORs the payload bits and preserves the value's type, exactly what
+   XORing the word while leaving the tag byte does on the unboxed side.
+   Out-of-range coordinates are a no-op (identically on both engines)
+   rather than an error, so a stale site enumeration can never crash a
+   campaign. *)
+let mask_of_bits bits =
+  List.fold_left (fun m bit -> Int64.logxor m (Int64.shift_left 1L (bit land 63))) 0L bits
+
+let apply_mem_flip_boxed (state : Value.t array array) { mf_buffer; mf_elem; mf_bits } =
+  if mf_buffer >= 0 && mf_buffer < Array.length state then begin
+    let buf = state.(mf_buffer) in
+    if mf_elem >= 0 && mf_elem < Array.length buf then
+      buf.(mf_elem) <- List.fold_left Value.flip_bit buf.(mf_elem) mf_bits
+  end
+
+let apply_mem_flip_unboxed (u : Ustate.t) { mf_buffer; mf_elem; mf_bits } =
+  if mf_buffer >= 0 && mf_buffer < Array.length u.Ustate.words then begin
+    let w = u.Ustate.words.(mf_buffer) in
+    if mf_elem >= 0 && mf_elem < Ustate.dim w then begin
+      let ib = Ustate.as_bits w in
+      A1.set ib mf_elem (Int64.logxor (A1.get ib mf_elem) (mask_of_bits mf_bits))
+    end
+  end
+
+let machine_injection_of = function Fault f -> Some f | Mem_flip _ -> None
+
 let anomalous_section run =
   {
     s_anomaly = status_anomaly run.Machine.status;
@@ -71,11 +110,14 @@ let run_section_boxed ~burst golden (section : Golden.section_run) injection
     ~timeout_factor =
   let plan = Workspace.plan_of golden in
   let state = Array.map Array.copy section.Golden.entry_state in
+  (match injection with Mem_flip m -> apply_mem_flip_boxed state m | Fault _ -> ());
   let buffers = Array.map (fun (idx, _) -> state.(idx)) section.Golden.bindings in
   let budget = budget_of ~timeout_factor section.Golden.dyn_count in
   let run =
     Machine.exec section.Golden.kernel ~scalars:section.Golden.scalars ~buffers ~budget
-      ~decoded:section.Golden.decoded ~injection ~burst ()
+      ~decoded:section.Golden.decoded
+      ?injection:(machine_injection_of injection)
+      ~burst ()
   in
   match status_anomaly run.Machine.status with
   | Some _ -> anomalous_section run
@@ -117,11 +159,15 @@ let run_section_unboxed ~burst golden (section : Golden.section_run) injection
   let ws = Workspace.get plan in
   let si = section.Golden.section_index in
   Workspace.load_section_entry ws si;
+  (match injection with
+  | Mem_flip m -> apply_mem_flip_unboxed ws.Workspace.state m
+  | Fault _ -> ());
   let budget = budget_of ~timeout_factor section.Golden.dyn_count in
   let run =
     Unboxed.exec section.Golden.decoded ~regs:ws.Workspace.regs ~rtags:ws.Workspace.rtags
       ~scal_words:plan.Workspace.scal_words.(si) ~scal_tags:plan.Workspace.scal_tags.(si)
-      ~buffers:ws.Workspace.views.(si) ~btags:ws.Workspace.vtags.(si) ~budget ~injection
+      ~buffers:ws.Workspace.views.(si) ~btags:ws.Workspace.vtags.(si) ~budget
+      ?injection:(machine_injection_of injection)
       ~burst ()
   in
   match status_anomaly run.Machine.status with
@@ -192,6 +238,8 @@ let converged_program golden ~executed =
 let run_to_end_boxed ~burst golden ~from_section injection ~timeout_factor =
   let sections = golden.Golden.sections in
   let state = Array.map Array.copy sections.(from_section).Golden.entry_state in
+  (match injection with Mem_flip m -> apply_mem_flip_boxed state m | Fault _ -> ());
+  let machine_inj = machine_injection_of injection in
   let executed = ref 0 in
   let anomaly = ref None in
   let i = ref from_section in
@@ -200,7 +248,7 @@ let run_to_end_boxed ~burst golden ~from_section injection ~timeout_factor =
     let section = sections.(!i) in
     let buffers = Array.map (fun (idx, _) -> state.(idx)) section.Golden.bindings in
     let budget = budget_of ~timeout_factor section.Golden.dyn_count in
-    let inj = if !i = from_section then Some injection else None in
+    let inj = if !i = from_section then machine_inj else None in
     let run =
       Machine.exec section.Golden.kernel ~scalars:section.Golden.scalars ~buffers ~budget
         ~decoded:section.Golden.decoded ?injection:inj ~burst ()
@@ -243,6 +291,8 @@ let run_to_end_unboxed ~burst golden ~from_section injection ~timeout_factor =
   let ws = Workspace.get plan in
   Workspace.load_entry ws from_section;
   let state = ws.Workspace.state in
+  (match injection with Mem_flip m -> apply_mem_flip_unboxed state m | Fault _ -> ());
+  let machine_inj = machine_injection_of injection in
   let sections = golden.Golden.sections in
   let nsections = Array.length sections in
   let executed = ref 0 in
@@ -252,7 +302,7 @@ let run_to_end_unboxed ~burst golden ~from_section injection ~timeout_factor =
   while (not !converged) && !anomaly = None && !i < nsections do
     let section = sections.(!i) in
     let budget = budget_of ~timeout_factor section.Golden.dyn_count in
-    let inj = if !i = from_section then Some injection else None in
+    let inj = if !i = from_section then machine_inj else None in
     let run =
       Unboxed.exec section.Golden.decoded ~regs:ws.Workspace.regs
         ~rtags:ws.Workspace.rtags ~scal_words:plan.Workspace.scal_words.(!i)

@@ -16,6 +16,22 @@ type anomaly =
   | Trap of Machine.trap
   | Timeout
 
+type mem_flip = {
+  mf_buffer : int;  (** program buffer index *)
+  mf_elem : int;    (** element within the buffer *)
+  mf_bits : int list;  (** payload bits to XOR, each taken mod 64 *)
+}
+
+type injection =
+  | Fault of Machine.injection
+      (** an in-flight fault on one dynamic instruction (register flip,
+          skip, or encoding corruption — see {!Machine.operand}) *)
+  | Mem_flip of mem_flip
+      (** flip bits of one buffer element in the entry state, before the
+          engine starts: the memory-fault-at-section-boundary model. The
+          flip preserves the element's type tag; out-of-range coordinates
+          are a no-op on both engines. *)
+
 type engine =
   | Boxed    (** the tree-walking {!Machine} — the reference oracle *)
   | Unboxed  (** the pre-decoded {!Unboxed} engine over zero-copy
@@ -60,9 +76,10 @@ type section_replay = {
 val run_section :
   ?burst:int ->
   ?engine:engine ->
-  Golden.t -> Golden.section_run -> Machine.injection -> timeout_factor:float ->
+  Golden.t -> Golden.section_run -> injection -> timeout_factor:float ->
   section_replay
-(** Replay one section in isolation with an injected bitflip. The section
+(** Replay one section in isolation with an injected fault. [burst] only
+    affects [Fault] register-flip operands. The section
     budget is [timeout_factor] × its golden dynamic instruction count
     (the paper uses 5×). The unboxed engine (default) runs in this
     domain's reusable workspace — per-replay setup is a blit of the entry
@@ -79,7 +96,7 @@ type program_replay = {
 val run_to_end :
   ?burst:int ->
   ?engine:engine ->
-  Golden.t -> from_section:int -> Machine.injection -> timeout_factor:float ->
+  Golden.t -> from_section:int -> injection -> timeout_factor:float ->
   program_replay
 (** Replay the program from the entry of section [from_section] (injecting
     there) through the end of the schedule. Each section gets

@@ -59,16 +59,18 @@ let exec (d : Decode.t) ~(regs : Ustate.words) ~(rtags : Bytes.t)
   let code = d.Decode.packed and imm = d.Decode.imm in
   let executed = ref 0 in
   let inj_dyn, inj_src, inj_bit =
-    (* [inj_src] is the source index for Osrc, or -1 for Odst. A dynamic
-       index that can never be reached (no injection, or a negative
-       [at_dyn]) becomes [max_int] so the segment driver below runs one
-       uninterrupted stretch. *)
+    (* [inj_src] is the source index for Osrc, or a negative sentinel:
+       -1 Odst, -2 Oskip, -3 Oenc. A dynamic index that can never be
+       reached (no injection, or a negative [at_dyn]) becomes [max_int]
+       so the segment driver below runs one uninterrupted stretch. *)
     match injection with
     | Some { Machine.at_dyn; operand; bit } -> (
       let at_dyn = if at_dyn < 0 then max_int else at_dyn in
       match operand with
       | Machine.Osrc k -> (at_dyn, k, bit)
-      | Machine.Odst -> (at_dyn, -1, bit))
+      | Machine.Odst -> (at_dyn, -1, bit)
+      | Machine.Oskip -> (at_dyn, -2, bit)
+      | Machine.Oenc -> (at_dyn, -3, bit))
     | None -> (max_int, -1, 0)
   in
   (* Iterative per-bit flips XOR the word once per listed bit, so a
@@ -485,27 +487,77 @@ let exec (d : Decode.t) ~(regs : Ustate.words) ~(rtags : Bytes.t)
       if !executed >= budget then Machine.Out_of_budget
       else begin
         (* [!executed = inj_dyn < budget]: the next dynamic instruction
-           is the injected one. Flip the source register before it, run
-           exactly one step, flip the destination register after it
-           (reading [dst] straight from the decoded stream; -1 means the
-           instruction writes no register — same no-op as the boxed
-           engine). *)
+           is the injected one. *)
         let ip = !pc in
-        if inj_src >= 0 then begin
-          let ss = Array.unsafe_get d.Decode.srcs ip in
-          if inj_src < Array.length ss then flip_reg (Array.unsafe_get ss inj_src)
-        end;
-        run_until (!executed + 1);
-        if inj_src < 0 then begin
-          let dst = Array.unsafe_get code ((ip * 5) + 4) in
-          if dst >= 0 then flip_reg dst
+        if inj_src = -2 then begin
+          (* Skip: the faulted instruction records in the trace and
+             counts against the budget — exactly as on the boxed engine —
+             but control falls straight through, and running off the end
+             of the kernel is a defined trap. *)
+          (match trace with Some t -> Trace.add t ip | None -> ());
+          executed := !executed + 1;
+          let nx = ip + 1 in
+          if nx >= Decode.length d then trap Machine.Type_confusion;
+          pc := nx
+        end
+        else if inj_src = -3 then begin
+          (* Encoding corruption: one dispatch through the corrupted-step
+             executor shared with the boxed engine, over this engine's
+             state via the accessor record. Cold path by construction —
+             it runs once per replay — so boxing through Value.t here
+             costs nothing the hot loop ever sees. *)
+          (match trace with Some t -> Trace.add t ip | None -> ());
+          executed := !executed + 1;
+          let env =
+            {
+              Machine.se_read =
+                (fun r -> Ustate.value_of (A1.get regs r) (Bytes.get rtags r));
+              se_write =
+                (fun r v ->
+                  A1.set regs r (Ustate.word_of_value v);
+                  Bytes.set rtags r (Ustate.tag_of_value v));
+              se_load =
+                (fun s idx ->
+                  let store = buffers.(s) in
+                  if idx < 0L || idx >= Int64.of_int (Ustate.dim store) then
+                    trap Machine.Out_of_bounds;
+                  let j = Int64.to_int idx in
+                  Ustate.value_of (A1.get store j) (Bytes.get btags.(s) j));
+              se_store =
+                (fun s idx v ->
+                  let store = buffers.(s) in
+                  if idx < 0L || idx >= Int64.of_int (Ustate.dim store) then
+                    trap Machine.Out_of_bounds;
+                  let j = Int64.to_int idx in
+                  A1.set store j (Ustate.word_of_value v);
+                  Bytes.set btags.(s) j (Ustate.tag_of_value v));
+            }
+          in
+          let nx = Machine.exec_corrupt_step d ~pc:ip ~bit:inj_bit env in
+          if nx < 0 then raise_notrace Halted;
+          pc := nx
+        end
+        else begin
+          (* Register flip: the source register before the step, or the
+             destination register after it (reading [dst] straight from
+             the decoded stream; -1 means the instruction writes no
+             register — same no-op as the boxed engine). *)
+          if inj_src >= 0 then begin
+            let ss = Array.unsafe_get d.Decode.srcs ip in
+            if inj_src < Array.length ss then flip_reg (Array.unsafe_get ss inj_src)
+          end;
+          run_until (!executed + 1);
+          if inj_src < 0 then begin
+            let dst = Array.unsafe_get code ((ip * 5) + 4) in
+            if dst >= 0 then flip_reg dst
+          end
         end;
         run_until budget;
         Machine.Out_of_budget
       end
     with
     | Halted -> Machine.Finished
-    | Trap t -> Machine.Trapped t
+    | Trap t | Machine.Trap t -> Machine.Trapped t
   in
   Machine.telemetry_record result ~executed:!executed;
   { Machine.status = result; executed = !executed }

@@ -17,6 +17,10 @@
 #                        speedup >= 1.0
 #   BENCH_server.json    well-formed, identical responses, warm
 #                        speedup > 1.0
+#   BENCH_faults.json    well-formed, every fault model identical between
+#                        serial and pooled runs, bitflip prover prunes
+#                        >= 20% of classes, throughput above a sanity
+#                        floor for every model
 #   BENCH_store.json     well-formed, identical reload, incremental save
 #                        >= 5x faster than a full rewrite, every save
 #                        reflected in the persist.saves telemetry; with
@@ -117,6 +121,27 @@ gate_server() {
   require_floor "$f" throughput_rps ">" 0 "no concurrent throughput recorded"
 }
 
+gate_faults() {
+  f=$1
+  well_formed "$f" || return
+  grep -q '"models"' "$f" || violation "$f: malformed, no \"models\" key"
+  require_identical "$f" "a fault-model campaign diverged between serial and pooled runs"
+  # The default register model must keep pruning; other models abstain
+  # (ratio 0.0 is expected for skip/opcode/memflip), so only the bitflip
+  # aggregate carries a floor.
+  require_floor "$f" bitflip_prune_ratio ">=" 0.2 "bitflip prover stopped pruning"
+  # Every model must sustain a sane replay rate; the floor is orders of
+  # magnitude below observed throughput and only rejects pathologically
+  # slow (or zero/missing) measurements.
+  worst=$(sed -n 's/.*"throughput_sites_s"[[:space:]]*:[[:space:]]*\([0-9][0-9.eE+-]*\).*/\1/p' "$f" |
+    sort -g | head -n 1)
+  if [ -z "$worst" ]; then
+    violation "$f: malformed, no numeric \"throughput_sites_s\""
+  elif ! awk -v v="$worst" "BEGIN { exit !(v >= 1000) }"; then
+    violation "$f: a fault model replays at $worst sites/s, floor is >= 1000"
+  fi
+}
+
 gate_store() {
   f=$1
   well_formed "$f" || return
@@ -149,6 +174,7 @@ gate_one() {
   BENCH_vm.json) gate_vm "$1" ;;
   BENCH_prune.json) gate_prune "$1" ;;
   BENCH_server.json) gate_server "$1" ;;
+  BENCH_faults.json) gate_faults "$1" ;;
   BENCH_store.json) gate_store "$1" ;;
   *) violation "$1: no gate known for this file" ;;
   esac
@@ -161,7 +187,7 @@ if [ $# -gt 0 ]; then
 else
   cd "$(dirname "$0")/.."
   found=0
-  for f in BENCH_parallel.json BENCH_vm.json BENCH_prune.json BENCH_server.json BENCH_store.json; do
+  for f in BENCH_parallel.json BENCH_vm.json BENCH_prune.json BENCH_server.json BENCH_faults.json BENCH_store.json; do
     if [ -e "$f" ]; then
       found=1
       gate_one "$f"

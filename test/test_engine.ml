@@ -312,7 +312,7 @@ let test_replay_parity () =
                 (fun bit ->
                   List.iter
                     (fun burst ->
-                      let injection = { Machine.at_dyn; operand; bit } in
+                      let injection = Replay.Fault { Machine.at_dyn; operand; bit } in
                       let boxed =
                         Replay.run_section ~burst ~engine:Replay.Boxed g section
                           injection ~timeout_factor:5.0
@@ -350,7 +350,7 @@ let campaign_config =
   {
     Campaign.bits = Site.Bit_list [ 0; 21; 42; 63 ];
     timeout_factor = 5.0;
-    burst = 1;
+    model = Fault_model.default;
     prove = Prover.off;
   }
 
@@ -397,8 +397,8 @@ let test_workspace_reuse_is_stateless () =
      trapped mid-section with corrupted registers and buffers). *)
   let g = Golden.run (compile pipeline_src) in
   let section = g.Golden.sections.(0) in
-  let nasty = { Machine.at_dyn = 2; operand = Machine.Osrc 0; bit = 62 } in
-  let benign = { Machine.at_dyn = 0; operand = Machine.Odst; bit = 0 } in
+  let nasty = Replay.Fault { Machine.at_dyn = 2; operand = Machine.Osrc 0; bit = 62 } in
+  let benign = Replay.Fault { Machine.at_dyn = 0; operand = Machine.Odst; bit = 0 } in
   let first =
     Replay.run_section ~engine:Replay.Unboxed g section benign ~timeout_factor:5.0
   in

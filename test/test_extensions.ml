@@ -4,6 +4,7 @@
 
 module Site = Ff_inject.Site
 module Campaign = Ff_inject.Campaign
+module Fault_model = Ff_inject.Fault_model
 module Machine = Ff_vm.Machine
 module Golden = Ff_vm.Golden
 module Frontend = Ff_lang.Frontend
@@ -52,7 +53,7 @@ let test_burst_flips_adjacent_bits () =
 
 let test_burst_config_changes_hash () =
   let c1 = Campaign.default_config in
-  let c2 = { c1 with Campaign.burst = 2 } in
+  let c2 = { c1 with Campaign.model = Fault_model.Bitflip { burst = 2 } } in
   Alcotest.(check bool) "burst in config hash" false
     (Int64.equal (Campaign.config_hash c1) (Campaign.config_hash c2))
 
@@ -66,7 +67,9 @@ kernel k(in a: float[], out res: float[]) {
 schedule { call k(a, res); }|}
   in
   let golden = Golden.run (compile src) in
-  let config = { quick_config.Pipeline.campaign with Campaign.burst = 2 } in
+  let config =
+    { quick_config.Pipeline.campaign with Campaign.model = Fault_model.Bitflip { burst = 2 } }
+  in
   let result = Campaign.run_section golden ~section_index:0 config in
   Alcotest.(check bool) "burst campaign completes" true (result.Campaign.s_injections > 0)
 

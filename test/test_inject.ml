@@ -214,7 +214,7 @@ let config =
   {
     Campaign.bits = Site.Bit_list [ 0; 31; 63 ];
     timeout_factor = 5.0;
-    burst = 1;
+    model = Fault_model.default;
     prove = Prover.off;
   }
 

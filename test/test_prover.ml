@@ -156,15 +156,15 @@ let check_proofs_against_oracle ?(burst = 1) g =
       let si = section.Golden.section_index in
       let classes = Array.of_list (Eqclass.for_section section prover_bits) in
       let proofs =
-        Prover.prove_section g ~section_index:si ~timeout_factor:5.0 ~burst Prover.on
-          classes
+        Prover.prove_section g ~section_index:si ~timeout_factor:5.0
+          ~model:(Fault_model.Bitflip { burst }) Prover.on classes
       in
       Array.iteri
         (fun i proof ->
           match proof with
           | None -> ()
           | Some claimed ->
-            let injection = Site.machine_injection classes.(i).Eqclass.pilot in
+            let injection = Replay.Fault (Site.machine_injection classes.(i).Eqclass.pilot) in
             let replay =
               Replay.run_section ~burst ~engine:Replay.Boxed g section injection
                 ~timeout_factor:5.0
@@ -177,15 +177,15 @@ let check_proofs_against_oracle ?(burst = 1) g =
                 Outcome.pp_section oracle)
         proofs;
       let fproofs =
-        Prover.prove_final g ~section_index:si ~timeout_factor:5.0 ~burst Prover.on
-          classes
+        Prover.prove_final g ~section_index:si ~timeout_factor:5.0
+          ~model:(Fault_model.Bitflip { burst }) Prover.on classes
       in
       Array.iteri
         (fun i proof ->
           match proof with
           | None -> ()
           | Some claimed ->
-            let injection = Site.machine_injection classes.(i).Eqclass.pilot in
+            let injection = Replay.Fault (Site.machine_injection classes.(i).Eqclass.pilot) in
             let replay =
               Replay.run_to_end ~burst ~engine:Replay.Boxed g ~from_section:si injection
                 ~timeout_factor:5.0
@@ -243,7 +243,7 @@ let test_fixed_pipeline_differential () =
       let classes = Array.of_list (Eqclass.for_section section prover_bits) in
       let proofs =
         Prover.prove_section g ~section_index:section.Golden.section_index
-          ~timeout_factor:5.0 ~burst:1 Prover.on classes
+          ~timeout_factor:5.0 ~model:Fault_model.default Prover.on classes
       in
       Array.iter (function Some _ -> incr proved | None -> ()) proofs)
     g.Golden.sections;
@@ -323,16 +323,18 @@ let prove_site ?(policy = Prover.on) ~instr ~operand ~bit () =
   let section = g.Golden.sections.(0) in
   let classes = Array.of_list (Eqclass.for_section section (Site.Bit_list [ bit ])) in
   let proofs =
-    Prover.prove_section g ~section_index:0 ~timeout_factor:5.0 ~burst:1 policy classes
+    Prover.prove_section g ~section_index:0 ~timeout_factor:5.0
+      ~model:Fault_model.default policy classes
   in
   let fproofs =
-    Prover.prove_final g ~section_index:0 ~timeout_factor:5.0 ~burst:1 policy classes
+    Prover.prove_final g ~section_index:0 ~timeout_factor:5.0
+      ~model:Fault_model.default policy classes
   in
   let found = ref None in
   Array.iteri
     (fun i (cls : Eqclass.t) ->
       if cls.Eqclass.pc.Site.instr = instr && cls.Eqclass.operand = operand then begin
-        let injection = Site.machine_injection cls.Eqclass.pilot in
+        let injection = Replay.Fault (Site.machine_injection cls.Eqclass.pilot) in
         let replay =
           Replay.run_section ~burst:1 ~engine:Replay.Boxed g section injection
             ~timeout_factor:5.0

@@ -61,6 +61,7 @@ let test_codec_roundtrips () =
               q_samples = 0;
               q_epsilon = 1e-9;
               q_prove = false;
+              q_model = Ff_inject.Fault_model.Skip;
             };
         };
     ];

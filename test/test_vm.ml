@@ -296,7 +296,7 @@ let golden () = Golden.run (compile pipeline_src)
 
 let test_replay_section_masked () =
   let g = golden () in
-  let injection = { Machine.at_dyn = 0; operand = Machine.Odst; bit = 0 } in
+  let injection = Replay.Fault { Machine.at_dyn = 0; operand = Machine.Odst; bit = 0 } in
   (* Flipping the loop-bound constant of 'double'... dyn 0 is whatever the
      optimizer placed first; instead inject into a bit of the destination
      and check the result classifies consistently. *)
@@ -321,7 +321,7 @@ let test_replay_section_detects_sdc () =
       | _ -> ())
     section.Golden.trace;
   Alcotest.(check bool) "found a store" true (!store_dyn >= 0);
-  let injection = { Machine.at_dyn = !store_dyn; operand = Machine.Osrc 1; bit = 63 } in
+  let injection = Replay.Fault { Machine.at_dyn = !store_dyn; operand = Machine.Osrc 1; bit = 63 } in
   let replay = Replay.run_section g section injection ~timeout_factor:5.0 in
   (match replay.Replay.s_anomaly with
   | Some _ -> Alcotest.fail "expected a clean run with SDC"
@@ -340,7 +340,7 @@ let test_replay_to_end_propagates () =
       | Instr.Store (_, _, _) when !store_dyn < 0 -> store_dyn := dyn
       | _ -> ())
     section.Golden.trace;
-  let injection = { Machine.at_dyn = !store_dyn; operand = Machine.Osrc 1; bit = 63 } in
+  let injection = Replay.Fault { Machine.at_dyn = !store_dyn; operand = Machine.Osrc 1; bit = 63 } in
   let replay = Replay.run_to_end g ~from_section:0 injection ~timeout_factor:5.0 in
   match replay.Replay.p_anomaly with
   | Some _ -> Alcotest.fail "expected clean propagation"
@@ -354,7 +354,7 @@ let test_replay_early_convergence () =
   (* A flip on a dead destination converges at the section boundary; the
      replay must charge at most the work of the injected section, not of
      the whole remaining program. *)
-  let injection = { Machine.at_dyn = 0; operand = Machine.Odst; bit = 0 } in
+  let injection = Replay.Fault { Machine.at_dyn = 0; operand = Machine.Odst; bit = 0 } in
   let replay = Replay.run_to_end g ~from_section:0 injection ~timeout_factor:5.0 in
   match replay.Replay.p_anomaly with
   | Some _ -> () (* the flip trapped; fine, not what this test measures *)
@@ -392,7 +392,7 @@ schedule { call k(8, res); }|}
     | _ -> 1
   in
   let injection =
-    { Machine.at_dyn = !cmp_dyn; operand = Machine.Osrc find_src_of_n; bit = 40 }
+    Replay.Fault { Machine.at_dyn = !cmp_dyn; operand = Machine.Osrc find_src_of_n; bit = 40 }
   in
   let replay = Replay.run_section g section injection ~timeout_factor:5.0 in
   Alcotest.(check bool) "timeout anomaly" true
