@@ -716,6 +716,161 @@ let emit_faults_json () =
     Printf.printf "wrote BENCH_faults.json (%d models, bitflip prune %.1f%%)\n%!"
       (List.length rows) (100.0 *. bitflip_prune)
 
+(* --- detect: duplication-vs-detector protection economics ---------------- *)
+
+type detect_row = {
+  dr_bench : string;
+  dr_total_value : int;
+  dr_target_value : int;
+  dr_pure_value : int;
+  dr_pure_cost : int;
+  dr_mixed_value : int;
+  dr_mixed_cost : int;
+  dr_detectors : int;
+  dr_candidates : int;
+  dr_dropped : int;
+  dr_fp_fires : int;
+  dr_coverage_replays : int;
+  dr_work : int;
+  dr_identical : bool;  (* serial == pooled protect, byte for byte *)
+  dr_serial_s : float;
+}
+
+let detect_rows : detect_row list ref = ref []
+
+let dr_saving r =
+  if r.dr_pure_cost > 0 then
+    1.0 -. (float_of_int r.dr_mixed_cost /. float_of_int r.dr_pure_cost)
+  else 0.0
+
+let print_detect config =
+  (* Detector synthesis + injection-measured coverage + mixed knapsack on
+     the two benchmarks where shared detectors are economical, at the
+     paper's 0.9 protection target. The gates: the serial and pooled
+     protect runs must be byte-identical (report and Pareto JSON), the
+     surviving detectors must have fired zero times on benign validation
+     runs, and on at least one benchmark the mixed selection must reach
+     the target value strictly cheaper than pure duplication. *)
+  let p = Lazy.force pool in
+  let target = 0.9 in
+  let open Ff_detect in
+  let rows =
+    List.map
+      (fun name ->
+        let bench = Option.get (Registry.find name) in
+        let program =
+          Ff_lang.Frontend.compile_exn (bench.Defs.source Defs.V_large)
+        in
+        let analysis = Pipeline.analyze ~pool:p config program in
+        let serial, serial_s =
+          wall (fun () -> Protect.run ~pool:Pool.serial config analysis ~target)
+        in
+        let pooled = Protect.run ~pool:p config analysis ~target in
+        let identical =
+          String.equal (Protect.report serial) (Protect.report pooled)
+          && String.equal (Protect.pareto_json serial) (Protect.pareto_json pooled)
+        in
+        let synth = Option.get serial.Protect.r_synth in
+        let total = serial.Protect.r_select.Select.t_total_value in
+        {
+          dr_bench = name;
+          dr_total_value = total;
+          dr_target_value = int_of_float (ceil (target *. float_of_int total));
+          dr_pure_value = serial.Protect.r_pure.Fastflip.Knapsack.value;
+          dr_pure_cost = serial.Protect.r_pure.Fastflip.Knapsack.cost;
+          dr_mixed_value = serial.Protect.r_mixed.Select.sel_value;
+          dr_mixed_cost = serial.Protect.r_mixed.Select.sel_cost;
+          dr_detectors = Array.length serial.Protect.r_mixed.Select.sel_detectors;
+          dr_candidates =
+            Array.fold_left
+              (fun acc a -> acc + Array.length a)
+              0 synth.Synthesize.candidates;
+          dr_dropped = synth.Synthesize.dropped;
+          dr_fp_fires = synth.Synthesize.fp_fires;
+          dr_coverage_replays =
+            List.fold_left
+              (fun a c -> a + c.Coverage.c_replays)
+              0 serial.Protect.r_coverages;
+          dr_work = serial.Protect.r_work;
+          dr_identical = identical;
+          dr_serial_s = serial_s;
+        })
+      [ "Campipe"; "BScholes" ]
+  in
+  detect_rows := rows;
+  let t =
+    Ff_support.Table.create
+      ~title:"Detectors vs duplication at the 0.9 protection target (V_large)"
+      [
+        ("Bench", Ff_support.Table.Left);
+        ("Cands", Ff_support.Table.Right);
+        ("Chosen", Ff_support.Table.Right);
+        ("Pure cost", Ff_support.Table.Right);
+        ("Mixed cost", Ff_support.Table.Right);
+        ("Saving", Ff_support.Table.Right);
+        ("FP", Ff_support.Table.Right);
+        ("Identical", Ff_support.Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Ff_support.Table.add_row t
+        [
+          r.dr_bench;
+          string_of_int r.dr_candidates;
+          string_of_int r.dr_detectors;
+          string_of_int r.dr_pure_cost;
+          string_of_int r.dr_mixed_cost;
+          Printf.sprintf "%.1f%%" (100.0 *. dr_saving r);
+          string_of_int r.dr_fp_fires;
+          string_of_bool r.dr_identical;
+        ])
+    rows;
+  Ff_support.Table.print t;
+  if not (List.for_all (fun r -> r.dr_identical) rows) then begin
+    prerr_endline "FATAL: a protect run diverged between serial and pooled execution";
+    exit 1
+  end
+
+let emit_detect_json () =
+  match !detect_rows with
+  | [] -> ()
+  | rows ->
+    let buf = Buffer.create 1024 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    add "{\n  \"benches\": [";
+    List.iteri
+      (fun i r ->
+        add
+          ("%s\n    { \"bench\": %S, \"total_value\": %d, \"target_value\": %d, "
+          ^^ "\"pure_value\": %d, \"pure_cost\": %d, \"mixed_value\": %d, "
+          ^^ "\"mixed_cost\": %d, \"detectors\": %d, \"candidates\": %d, "
+          ^^ "\"dropped\": %d, \"fp\": %d, \"coverage_replays\": %d, "
+          ^^ "\"work\": %d, \"saving\": %.4f, \"identical\": %b, \"serial_s\": %.6f }")
+          (if i = 0 then "" else ",")
+          r.dr_bench r.dr_total_value r.dr_target_value r.dr_pure_value
+          r.dr_pure_cost r.dr_mixed_value r.dr_mixed_cost r.dr_detectors
+          r.dr_candidates r.dr_dropped r.dr_fp_fires r.dr_coverage_replays
+          r.dr_work (dr_saving r) r.dr_identical r.dr_serial_s)
+      rows;
+    let identical = List.for_all (fun r -> r.dr_identical) rows in
+    let fp_fires = List.fold_left (fun acc r -> acc + r.dr_fp_fires) 0 rows in
+    let detector_win =
+      List.exists
+        (fun r ->
+          r.dr_mixed_value >= r.dr_target_value && r.dr_mixed_cost < r.dr_pure_cost)
+        rows
+    in
+    add "\n  ],\n  \"identical\": %b,\n  \"fp_fires\": %d,\n  \"detector_win\": %b\n}\n"
+      identical fp_fires detector_win;
+    let oc = open_out "BENCH_detect.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf
+      "wrote BENCH_detect.json (best saving %.1f%%, %d benign false positives)\n%!"
+      (100.0 *. List.fold_left (fun acc r -> Float.max acc (dr_saving r)) 0.0 rows)
+      fp_fires
+
 (* --- analysis service: cold vs warm latency, concurrent throughput ------ *)
 
 type server_result = {
@@ -1224,6 +1379,7 @@ let artifacts =
     ("vm", print_vm);
     ("prune", print_prune);
     ("faults", print_faults);
+    ("detect", print_detect);
     ("server", print_server);
     ("store", print_store);
   ]
@@ -1293,6 +1449,7 @@ let () =
   emit_vm_json ();
   emit_prune_json ();
   emit_faults_json ();
+  emit_detect_json ();
   emit_server_json ();
   emit_store_json ();
   (* The shared store's save-on-exit runs before the metrics export, so

@@ -19,13 +19,14 @@ fail() {
 
 dune build bench/main.exe
 
-rm -f BENCH_parallel.json BENCH_vm.json BENCH_prune.json BENCH_store.json BENCH_faults.json
-FF_DOMAINS=2 dune exec bench/main.exe -- quick parallel table3 vm prune store faults \
+rm -f BENCH_parallel.json BENCH_vm.json BENCH_prune.json BENCH_store.json \
+  BENCH_faults.json BENCH_detect.json
+FF_DOMAINS=2 dune exec bench/main.exe -- quick parallel table3 vm prune store faults detect \
   --metrics BENCH_metrics.json
 
 # Artifact validity and performance floors live in one place: the gate.
 sh scripts/bench_gate.sh BENCH_parallel.json BENCH_vm.json BENCH_prune.json \
-  BENCH_store.json BENCH_faults.json || fail "bench gate rejected an artifact"
+  BENCH_store.json BENCH_faults.json BENCH_detect.json || fail "bench gate rejected an artifact"
 
 # The telemetry export is not a bench result, so the gate does not own it.
 [ -s BENCH_metrics.json ] || fail "BENCH_metrics.json missing or empty"

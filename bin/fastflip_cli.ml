@@ -9,6 +9,9 @@
      bench    <name>      analyze a built-in benchmark (3 versions,
                           incremental store) and print speedups
      list                 list the built-in benchmarks
+     security <program>   attacker-fault-model campaign and damage report
+     protect  <program>   detector synthesis + mixed duplication/detector
+                          Pareto front
      serve    <socket>    analysis-as-a-service daemon with warm state
      query    <socket> <file>   analyze via a running daemon
      shutdown <socket>    stop a running daemon cleanly
@@ -41,8 +44,9 @@ let compile_file path =
 (* The option-to-config mapping lives in Ff_serve.Engine so the one-shot
    commands and the daemon build the exact same configuration — the
    byte-identity contract between [analyze] and [query] depends on it. *)
-let config_of ?(epsilon = 0.0) ?model ~bits ~samples ~no_prove () =
-  Ff_serve.Engine.config_of ?model ~bits ~samples ~epsilon ~prove:(not no_prove) ()
+let config_of ?(epsilon = 0.0) ?model ?safety_factor ~bits ~samples ~no_prove () =
+  Ff_serve.Engine.config_of ?model ?safety_factor ~bits ~samples ~epsilon
+    ~prove:(not no_prove) ()
 
 (* --- arguments ----------------------------------------------------------- *)
 
@@ -71,8 +75,12 @@ let bits_arg =
          ~doc:"Bit positions to inject (default: the stratified 16-bit subset).")
 
 let samples_arg =
-  Arg.(value & opt int 200 & info [ "samples" ] ~docv:"N"
-         ~doc:"Sensitivity-analysis samples per input buffer.")
+  Arg.(value & opt int 200 & info [ "samples"; "sens-samples" ] ~docv:"N"
+         ~doc:"Sensitivity-analysis samples per input buffer. The telemetry               counters $(b,sensitivity.samples_used) and $(b,sensitivity.work) in               $(b,--metrics) report how many were actually consumed and what they               cost.")
+
+let safety_factor_arg =
+  Arg.(value & opt (some float) None & info [ "sens-safety-factor" ] ~docv:"F"
+         ~doc:"Safety factor applied to sensitivity Lipschitz estimates (and to               synthesized detector thresholds, which inherit it). Default 1.25.               Part of the store key: runs with different factors never share               cached section records.")
 
 let epsilon_arg =
   Arg.(value & opt float 0.0 & info [ "epsilon" ] ~docv:"E"
@@ -240,9 +248,9 @@ let run_cmd =
 (* --- analyze ---------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run path target bits samples epsilon store_path strict shards jobs metrics every
-      resume no_prove model =
-    let config = config_of ~epsilon ~model ~bits ~samples ~no_prove () in
+  let run path target bits samples safety_factor epsilon store_path strict shards jobs
+      metrics every resume no_prove model =
+    let config = config_of ~epsilon ~model ?safety_factor ~bits ~samples ~no_prove () in
     let program = compile_file path in
     let analysis =
       with_metrics metrics (fun () ->
@@ -256,7 +264,7 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the full FastFlip analysis on a program and print the selection.")
-    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ store_arg $ strict_store_arg $ shards_arg $ jobs_arg $ metrics_arg $ checkpoint_every_arg $ resume_arg $ no_prove_arg $ fault_model_arg)
+    Term.(const run $ file_arg $ target_arg $ bits_arg $ samples_arg $ safety_factor_arg $ epsilon_arg $ store_arg $ strict_store_arg $ shards_arg $ jobs_arg $ metrics_arg $ checkpoint_every_arg $ resume_arg $ no_prove_arg $ fault_model_arg)
 
 (* --- compare ----------------------------------------------------------------- *)
 
@@ -491,7 +499,11 @@ let security_cmd =
            & info [ "fault-model" ] ~docv:"NAME[:PARAMS]"
                ~doc:"Attacker primitive to campaign with (default $(b,skip):                     glitching one dynamic instruction). Any fault model is                     accepted; $(b,opcode) and $(b,memflip) model encoding and                     memory attacks.")
   in
-  let run name target bits samples epsilon jobs metrics no_prove model =
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the findings as deterministic JSON to $(docv):                 per-finding pc (kernel/instr), attack-outcome kind, silent-damage                 site counts, and the campaign totals. The export seeds                 $(b,fastflip protect --seed-security).")
+  in
+  let run name target bits samples epsilon jobs metrics no_prove model json =
     let program =
       if Sys.file_exists name then compile_file name
       else
@@ -513,12 +525,86 @@ let security_cmd =
               Fastflip.Security.analyze ~pool ~epsilon golden
                 config.Pipeline.campaign))
     in
-    print_string (Fastflip.Security.report ~target result)
+    print_string (Fastflip.Security.report ~target result);
+    match json with
+    | None -> ()
+    | Some path ->
+      let oc = open_out_bin path in
+      output_string oc (Fastflip.Security.findings_json result);
+      close_out oc;
+      Printf.printf "wrote findings to %s\n" path
   in
   Cmd.v
     (Cmd.info "security"
        ~doc:"Attack-surface campaign: inject an attacker-style fault model               (instruction skip by default) end to end, report which sites let a               fault bypass a comparison or silently corrupt state, and what the               knapsack would protect first under that threat model.")
-    Term.(const run $ target_pos_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ jobs_arg $ metrics_arg $ no_prove_arg $ security_model_arg)
+    Term.(const run $ target_pos_arg $ target_arg $ bits_arg $ samples_arg $ epsilon_arg $ jobs_arg $ metrics_arg $ no_prove_arg $ security_model_arg $ json_arg)
+
+(* --- protect --------------------------------------------------------------------- *)
+
+let protect_cmd =
+  let target_pos_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM"
+           ~doc:"Kernel-language source file, or the name of a built-in benchmark                 (analyzed at its large version, see 'fastflip list').")
+  in
+  let detectors_arg =
+    Arg.(value & flag & info [ "detectors" ]
+           ~doc:"Synthesize runtime detectors, measure their coverage by                 re-injecting every SDC-Bad equivalence class, and let the mixed                 knapsack trade them against instruction duplication. Without this                 flag the command reports the pure-duplication selection in the                 same format.")
+  in
+  let pareto_arg =
+    Arg.(value & opt (some string) None & info [ "pareto" ] ~docv:"FILE"
+           ~doc:"Write the full protection-value vs cost Pareto front (mixed and                 pure-duplication, plus the candidate detectors and both selections                 at the target) as deterministic JSON to $(docv).")
+  in
+  let seed_security_arg =
+    Arg.(value & opt (some file) None & info [ "seed-security" ] ~docv:"FILE"
+           ~doc:"Restrict detector synthesis to sections whose kernel contains a                 finding from a $(b,fastflip security --json) export — detector                 placement seeded by the attack-surface campaign.")
+  in
+  let max_detectors_arg =
+    Arg.(value & opt int 8 & info [ "max-detectors" ] ~docv:"N"
+           ~doc:"Global candidate-detector pool size (the mixed optimizer                 enumerates its subsets; hard limit 16).")
+  in
+  let run name target bits samples safety_factor epsilon store_path strict shards jobs
+      metrics no_prove model detectors pareto seed_security max_detectors =
+    let program =
+      if Sys.file_exists name then compile_file name
+      else
+        match Ff_benchmarks.Registry.find name with
+        | Some bench ->
+          Ff_lang.Frontend.compile_exn
+            (bench.Ff_benchmarks.Defs.source Ff_benchmarks.Defs.V_large)
+        | None ->
+          Printf.eprintf "fastflip: %s is neither a file nor a benchmark (try: %s)\n"
+            name
+            (String.concat ", " Ff_benchmarks.Registry.names);
+          exit 1
+    in
+    let config = config_of ~epsilon ~model ?safety_factor ~bits ~samples ~no_prove () in
+    let focus =
+      Option.map
+        (fun path -> Ff_detect.Synthesize.focus_of_json (read_file path))
+        seed_security
+    in
+    let result =
+      with_metrics metrics (fun () ->
+          with_jobs jobs (fun pool ->
+              with_store ~strict ?shards store_path (fun store ->
+                  let analysis = Pipeline.analyze ~store ~pool config program in
+                  let backing = Pipeline.backing_of_store store in
+                  Ff_detect.Protect.run ~pool ~backing ~detectors_enabled:detectors
+                    ~max_detectors ?focus config analysis ~target)))
+    in
+    print_string (Ff_detect.Protect.report result);
+    match pareto with
+    | None -> ()
+    | Some path ->
+      let oc = open_out_bin path in
+      output_string oc (Ff_detect.Protect.pareto_json result);
+      close_out oc;
+      Printf.printf "wrote pareto front to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "protect"
+       ~doc:"Protection planning with learned runtime detectors: synthesize               range/finiteness/linear-invariant checks on section outputs from the               golden trace and benign perturbed runs, measure which SDC-Bad               equivalence classes each check actually catches by re-injecting their               pilots, and report the Pareto front where shared detectors compete               with per-instruction duplication. Deterministic for any $(b,--jobs)               width; coverage replays are cached in $(b,--store).")
+    Term.(const run $ target_pos_arg $ target_arg $ bits_arg $ samples_arg $ safety_factor_arg $ epsilon_arg $ store_arg $ strict_store_arg $ shards_arg $ jobs_arg $ metrics_arg $ no_prove_arg $ fault_model_arg $ detectors_arg $ pareto_arg $ seed_security_arg $ max_detectors_arg)
 
 (* --- list ---------------------------------------------------------------------- *)
 
@@ -542,5 +628,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; run_cmd; analyze_cmd; compare_cmd; bench_cmd; list_cmd;
-            security_cmd; serve_cmd; query_cmd; shutdown_cmd; store_cmd;
+            security_cmd; protect_cmd; serve_cmd; query_cmd; shutdown_cmd; store_cmd;
           ]))

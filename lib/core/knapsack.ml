@@ -89,6 +89,22 @@ let select s ~target =
     { pcs = !pcs; value = !value; cost = !cost }
   end
 
+(* The DP's achievable frontier: for each distinct cost, the largest
+   value it buys. dp is monotone nondecreasing in v, so the frontier is
+   exactly the values v where dp strictly increases at v+1 (or v is the
+   total). Every frontier pair is achieved *exactly*: the cheapest
+   selection with value >= v has cost dp.(v) and, since v is the largest
+   value at that cost, value exactly v — which is what lets a caller
+   reconstruct a frontier point with [select ~target:v] and get back
+   precisely (v, dp v). *)
+let points s =
+  let pts = ref [] in
+  for v = s.total_value downto 1 do
+    if s.dp.(v) < infinite_cost && (v = s.total_value || s.dp.(v) < s.dp.(v + 1)) then
+      pts := (v, s.dp.(v)) :: !pts
+  done;
+  (0, 0) :: !pts
+
 let items_of_valuation (valuation : Valuation.t) =
   List.map
     (fun (pc, value) -> { pc; value; cost = Valuation.cost_of valuation pc })

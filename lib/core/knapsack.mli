@@ -32,5 +32,13 @@ val select : solution -> target:int -> selection
     non-positive target yields the empty selection. O(#items + target)
     per call. *)
 
+val points : solution -> (int * int) list
+(** The achievable (value, min-cost) frontier of the DP, ascending and
+    strictly increasing in both coordinates, starting at [(0, 0)]. Each
+    pair is achieved exactly — [select ~target:value] reconstructs the
+    selection behind it at the stated cost. This is the per-solution
+    Pareto front the mixed duplication-vs-detector optimizer merges
+    across detector subsets. *)
+
 val items_of_valuation : Valuation.t -> item list
 (** One item per pc that has any SDC-Bad value. *)

@@ -105,6 +105,28 @@ let section_key config (section : Golden.section_run) =
          Hashing.value h);
   }
 
+(* A disjoint key space in the same FFSTORE3 store for injection-measured
+   detector coverage: the section's campaign key, scoped by the hash of
+   the exact candidate detector set (and a format version, so a future
+   coverage encoding never reads old frames as current ones). Campaign
+   records and coverage records for the same section can therefore never
+   collide, and two different candidate sets never share measurements. *)
+let coverage_version = 1
+
+let coverage_key config (section : Golden.section_run) ~detector_hash =
+  let base = section_key config section in
+  {
+    base with
+    Store.config_hash =
+      Hashing.combine base.Store.config_hash
+        (let h = Hashing.create () in
+         Hashing.add_string h "detector-coverage";
+         Hashing.add_int h coverage_version;
+         Hashing.add_int64 h detector_hash;
+         Hashing.add_float h config.epsilon;
+         Hashing.value h);
+  }
+
 let analyze_section ?pool ?journal config golden ~section_index ~key =
   let campaign =
     Campaign.run_section ?pool ?journal golden ~section_index config.campaign

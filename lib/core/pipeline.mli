@@ -44,6 +44,16 @@ val config_hash : config -> int64
     key's config component (which excludes ε, because stored outcomes can
     be re-labeled under a new ε without re-injection). *)
 
+val coverage_key :
+  config -> Ff_vm.Golden.section_run -> detector_hash:int64 -> Store.key
+(** The FFSTORE3 key under which injection-measured detector coverage of
+    this section is cached: the section's campaign store key scoped by
+    [detector_hash] (the digest of the exact candidate detector set), a
+    coverage-format version, and ε (the bad-class set being measured is
+    ε-dependent). The scoping keeps coverage records in a key space
+    disjoint from campaign records, so both kinds share one store file,
+    one save path, and one salvage story. *)
+
 type prepared = {
   p_program : Ff_ir.Program.t;
   p_golden : Ff_vm.Golden.t;      (** carries the decoded kernels *)

@@ -166,6 +166,53 @@ let protect_first t ~target =
 let pct part whole =
   if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
 
+(* Machine-readable findings: hand-rolled JSON exactly like Telemetry's
+   export — sorted/deterministic content, no float formatting surprises
+   (%.17g round-trips), no external dependency. The finding list is the
+   seed input for detector placement ([fastflip protect
+   --seed-security]), so the field set mirrors [finding] verbatim. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let findings_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"model\": \"%s\",\n"
+       (json_escape (Fault_model.to_string t.s_model)));
+  Buffer.add_string buf (Printf.sprintf "  \"epsilon\": %.17g,\n" t.s_epsilon);
+  Buffer.add_string buf (Printf.sprintf "  \"sites\": %d,\n" t.s_sites);
+  Buffer.add_string buf (Printf.sprintf "  \"classes\": %d,\n" t.s_classes);
+  Buffer.add_string buf (Printf.sprintf "  \"silent\": %d,\n" t.s_silent);
+  Buffer.add_string buf (Printf.sprintf "  \"detected\": %d,\n" t.s_detected);
+  Buffer.add_string buf (Printf.sprintf "  \"masked\": %d,\n" t.s_masked);
+  Buffer.add_string buf "  \"findings\": [";
+  List.iteri
+    (fun i f ->
+      Buffer.add_string buf (if i = 0 then "\n" else ",\n");
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"kernel\": %d, \"instr\": %d, \"kind\": \"%s\", \
+            \"silent_sites\": %d, \"total_sites\": %d, \"instruction\": \"%s\"}"
+           f.f_pc.Site.kernel f.f_pc.Site.instr
+           (kind_to_string f.f_kind)
+           f.f_bad_sites f.f_total_sites (json_escape f.f_instr)))
+    t.s_findings;
+  Buffer.add_string buf (if t.s_findings = [] then "]\n" else "\n  ]\n");
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
 let report ?(target = 0.9) t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf

@@ -68,6 +68,15 @@ val protect_first : t -> target:float -> Knapsack.selection
 (** The knapsack selection covering [target] (in [0,1]) of the silent
     damage at minimum dynamic-instruction cost. *)
 
+val findings_json : t -> string
+(** The findings as deterministic JSON: campaign summary (model, ε,
+    outcome tallies) plus one object per finding with [kernel]/[instr]
+    (the pc), [kind], [silent_sites] (the damage mass), [total_sites]
+    and the printed [instruction]. Written by
+    [fastflip security --json out.json]; consumed by
+    [fastflip protect --seed-security] to prioritize detector placement
+    at the sections whose kernels contain vulnerable pcs. *)
+
 val report : ?target:float -> t -> string
 (** Printable summary: outcome tallies, the vulnerable-instruction table
     (damage-first) and the protect-first selection (default target

@@ -112,6 +112,11 @@ let with_untested t untested =
   let extra = List.fold_left (fun acc (_, c) -> acc + c) 0 untested in
   { t with values; total_value = t.total_value + extra }
 
+let bad_labels_in_section t ~section =
+  List.filter
+    (fun { cls; bad } -> bad && cls.Eqclass.pilot.Site.section = section)
+    t.labels
+
 let value_fraction t ~selected =
   if t.total_value = 0 then 0.0
   else begin

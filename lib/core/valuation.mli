@@ -55,6 +55,12 @@ val with_untested : t -> (Ff_inject.Site.pc * int) list -> t
     executes, which cannot happen for a real pc, so callers normally pass
     pcs already present in the trace). *)
 
+val bad_labels_in_section : t -> section:int -> class_label list
+(** The SDC-Bad labelled classes whose pilot lives in schedule section
+    [section], in label order — the per-section work list for
+    injection-measured detector coverage (each class replays once more,
+    this time capturing the faulty section outputs). *)
+
 val value_fraction : t -> selected:Ff_inject.Site.pc list -> float
 (** Σ v(pc) over [selected] / total value (0 when the total is 0). *)
 

@@ -1,0 +1,84 @@
+module Value = Ff_ir.Value
+module Hashing = Ff_support.Hashing
+
+type form =
+  | Finite
+  | Range of { lo : float; hi : float }
+  | Linear of { input : int; scale : float; offset : float; tol : float }
+
+type t = {
+  d_section : int;
+  d_buffer : int;
+  d_form : form;
+  d_cost : int;
+}
+
+let cost_of_form form ~len ~input_len =
+  match form with
+  | Finite -> len
+  | Range _ -> 2 * len
+  | Linear _ -> len + input_len + 4
+
+let scalar = function
+  | Value.Float x -> x
+  | Value.Int i -> Int64.to_float i
+
+let sum arr =
+  let s = ref 0.0 in
+  for i = 0 to Array.length arr - 1 do
+    s := !s +. scalar arr.(i)
+  done;
+  !s
+
+(* Every predicate is phrased as "not provably in bounds", so a NaN
+   (for which both <= comparisons are false) always fires instead of
+   slipping through a naive [x < lo || x > hi]. *)
+let fires t ~entry_sum exit_values =
+  match t.d_form with
+  | Finite -> Array.exists (fun v -> not (Value.is_finite v)) exit_values
+  | Range { lo; hi } ->
+    Array.exists
+      (fun v ->
+        let x = scalar v in
+        not (x >= lo && x <= hi))
+      exit_values
+  | Linear { input = _; scale; offset; tol } ->
+    let out_sum = sum exit_values in
+    let predicted = (scale *. entry_sum) +. offset in
+    not (Float.abs (out_sum -. predicted) <= tol)
+
+let hash_fold h t =
+  Hashing.add_int h t.d_section;
+  Hashing.add_int h t.d_buffer;
+  Hashing.add_int h t.d_cost;
+  match t.d_form with
+  | Finite -> Hashing.add_int h 0
+  | Range { lo; hi } ->
+    Hashing.add_int h 1;
+    Hashing.add_float h lo;
+    Hashing.add_float h hi
+  | Linear { input; scale; offset; tol } ->
+    Hashing.add_int h 2;
+    Hashing.add_int h input;
+    Hashing.add_float h scale;
+    Hashing.add_float h offset;
+    Hashing.add_float h tol
+
+let spec_hash per_section =
+  let h = Hashing.create () in
+  Array.iter
+    (fun section ->
+      Hashing.add_int h (Array.length section);
+      Array.iter (hash_fold h) section)
+    per_section;
+  Hashing.value h
+
+let describe t =
+  let form =
+    match t.d_form with
+    | Finite -> "finite"
+    | Range { lo; hi } -> Printf.sprintf "range[%g,%g]" lo hi
+    | Linear { input; scale; offset; tol } ->
+      Printf.sprintf "linear(b%d;%g,%g;tol %g)" input scale offset tol
+  in
+  Printf.sprintf "%s on b%d after s%d" form t.d_buffer t.d_section

@@ -7,6 +7,7 @@ module Telemetry = Ff_support.Telemetry
 
 let m_estimates = Telemetry.counter "sensitivity.estimates"
 let m_samples = Telemetry.counter "sensitivity.samples"
+let m_samples_used = Telemetry.counter "sensitivity.samples_used"
 let m_work = Telemetry.counter "sensitivity.work"
 let h_section_work = Telemetry.histogram "sensitivity.section_work"
 
@@ -156,6 +157,10 @@ let estimate ?(samples = 200) ?(max_perturbation = 0.01) ?(safety_factor = 1.25)
     k;
   Telemetry.incr m_estimates;
   Telemetry.add m_samples (samples * Array.length inputs);
+  (* [samples_used] is the per-estimate knob value (what the record
+     stores), distinct from [samples] which multiplies by the input
+     count — both visible in --metrics so --sens-samples is observable. *)
+  Telemetry.add m_samples_used samples;
   Telemetry.add m_work !work;
   Telemetry.observe h_section_work !work;
   {

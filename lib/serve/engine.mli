@@ -56,6 +56,7 @@ val handle : t -> Protocol.request -> Protocol.response
 
 val config_of :
   ?model:Ff_inject.Fault_model.t ->
+  ?safety_factor:float ->
   bits:int list ->
   samples:int ->
   epsilon:float ->
@@ -65,4 +66,5 @@ val config_of :
 (** The CLI's option-to-config mapping, shared by the one-shot commands
     and the daemon so both sides of the byte-identity contract build the
     exact same analysis configuration. [bits = []] means the default
-    stratified subset; [model] defaults to single-bit register flips. *)
+    stratified subset; [model] defaults to single-bit register flips;
+    [safety_factor] defaults to the pipeline's 1.25 sensitivity margin. *)

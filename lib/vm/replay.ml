@@ -97,6 +97,23 @@ let apply_mem_flip_unboxed (u : Ustate.t) { mf_buffer; mf_elem; mf_bits } =
 
 let machine_injection_of = function Fault f -> Some f | Mem_flip _ -> None
 
+(* Faulty exit-state capture for detector evaluation: the requested
+   buffers are deep-copied out of the replay's scratch state before the
+   workspace is reused. Both appliers produce boxed [Value.t] arrays so
+   the detector arithmetic is engine-independent; [Ustate.value_of] is
+   the same word+tag reconstruction the differential engine tests rely
+   on, so the two captures are bit-identical. *)
+let capture_boxed (state : Value.t array array) idx =
+  Array.map (fun i -> Array.copy state.(i)) idx
+
+let capture_unboxed (u : Ustate.t) idx =
+  Array.map
+    (fun i ->
+      let w = u.Ustate.words.(i) and tags = u.Ustate.tags.(i) in
+      Array.init (Ustate.dim w) (fun j ->
+          Ustate.value_of (Bigarray.Array1.get w j) (Bytes.get tags j)))
+    idx
+
 let anomalous_section run =
   {
     s_anomaly = status_anomaly run.Machine.status;
@@ -106,7 +123,7 @@ let anomalous_section run =
     s_executed = run.Machine.executed;
   }
 
-let run_section_boxed ~burst golden (section : Golden.section_run) injection
+let run_section_boxed ~burst ~capture golden (section : Golden.section_run) injection
     ~timeout_factor =
   let plan = Workspace.plan_of golden in
   let state = Array.map Array.copy section.Golden.entry_state in
@@ -120,7 +137,7 @@ let run_section_boxed ~burst golden (section : Golden.section_run) injection
       ~burst ()
   in
   match status_anomaly run.Machine.status with
-  | Some _ -> anomalous_section run
+  | Some _ -> (anomalous_section run, None)
   | None ->
     let si = section.Golden.section_index in
     let golden_exit = Golden.exit_state golden si in
@@ -145,15 +162,16 @@ let run_section_boxed ~burst golden (section : Golden.section_run) injection
       scan 0
     in
     let nonfinite = Array.exists (fun idx -> has_nonfinite state.(idx)) writable_idx in
-    {
-      s_anomaly = None;
-      s_output_sdc = output_sdc;
-      s_side_effect = side_effect;
-      s_nonfinite = nonfinite;
-      s_executed = run.Machine.executed;
-    }
+    ( {
+        s_anomaly = None;
+        s_output_sdc = output_sdc;
+        s_side_effect = side_effect;
+        s_nonfinite = nonfinite;
+        s_executed = run.Machine.executed;
+      },
+      Option.map (capture_boxed state) capture )
 
-let run_section_unboxed ~burst golden (section : Golden.section_run) injection
+let run_section_unboxed ~burst ~capture golden (section : Golden.section_run) injection
     ~timeout_factor =
   let plan = Workspace.plan_of golden in
   let ws = Workspace.get plan in
@@ -171,7 +189,7 @@ let run_section_unboxed ~burst golden (section : Golden.section_run) injection
       ~burst ()
   in
   match status_anomaly run.Machine.status with
-  | Some _ -> anomalous_section run
+  | Some _ -> (anomalous_section run, None)
   | None ->
     let exit_u = plan.Workspace.states.(si + 1) in
     let state = ws.Workspace.state in
@@ -195,19 +213,29 @@ let run_section_unboxed ~burst golden (section : Golden.section_run) injection
     let nonfinite =
       Array.exists (fun idx -> Ustate.has_nonfinite state idx) writable_idx
     in
-    {
-      s_anomaly = None;
-      s_output_sdc = output_sdc;
-      s_side_effect = side_effect;
-      s_nonfinite = nonfinite;
-      s_executed = run.Machine.executed;
-    }
+    ( {
+        s_anomaly = None;
+        s_output_sdc = output_sdc;
+        s_side_effect = side_effect;
+        s_nonfinite = nonfinite;
+        s_executed = run.Machine.executed;
+      },
+      Option.map (capture_unboxed state) capture )
 
 let run_section ?(burst = 1) ?(engine = default_engine) golden
     (section : Golden.section_run) injection ~timeout_factor =
+  fst
+    (match engine with
+    | Boxed -> run_section_boxed ~burst ~capture:None golden section injection ~timeout_factor
+    | Unboxed ->
+      run_section_unboxed ~burst ~capture:None golden section injection ~timeout_factor)
+
+let run_section_capture ?(burst = 1) ?(engine = default_engine) golden
+    (section : Golden.section_run) injection ~timeout_factor ~buffers =
+  let capture = Some buffers in
   match engine with
-  | Boxed -> run_section_boxed ~burst golden section injection ~timeout_factor
-  | Unboxed -> run_section_unboxed ~burst golden section injection ~timeout_factor
+  | Boxed -> run_section_boxed ~burst ~capture golden section injection ~timeout_factor
+  | Unboxed -> run_section_unboxed ~burst ~capture golden section injection ~timeout_factor
 
 let states_equal a b =
   let n = Array.length a in

@@ -85,6 +85,19 @@ val run_section :
     domain's reusable workspace — per-replay setup is a blit of the entry
     state, not an allocation. *)
 
+val run_section_capture :
+  ?burst:int ->
+  ?engine:engine ->
+  Golden.t -> Golden.section_run -> injection -> timeout_factor:float ->
+  buffers:int array ->
+  section_replay * Ff_ir.Value.t array array option
+(** {!run_section}, additionally returning the faulty contents of the
+    requested program buffers at section exit (in request order, deep
+    copies) when the replay completed, [None] when it was anomalous.
+    This is the hook runtime-detector coverage measurement evaluates
+    candidate checks against: both engines capture bit-identical boxed
+    values, so detector verdicts never depend on the engine. *)
+
 type program_replay = {
   p_anomaly : anomaly option;
   p_final_sdc : (int * float) list;

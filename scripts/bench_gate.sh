@@ -27,6 +27,12 @@
 #                        2+ cores two disjoint-shard writers must also
 #                        beat serial (on 1 core only a no-pathological-
 #                        serialization floor applies)
+#   BENCH_detect.json    well-formed, protect runs identical between
+#                        serial and pooled execution, zero benign
+#                        false-positive fires, and on at least one
+#                        benchmark the mixed detector+duplication plan
+#                        reaches the protection target at strictly lower
+#                        cost than pure duplication
 #
 # Prints one readable line per violation and exits nonzero if any check
 # fails.
@@ -168,6 +174,22 @@ gate_store() {
   fi
 }
 
+gate_detect() {
+  f=$1
+  well_formed "$f" || return
+  grep -q '"benches"' "$f" || violation "$f: malformed, no \"benches\" key"
+  require_identical "$f" "a protect run diverged between serial and pooled execution"
+  # Detectors are validated to fire on zero benign runs; any recorded
+  # false positive means the synthesis validation phase is broken.
+  require_floor "$f" fp_fires "<=" 0 "detectors fire on benign runs"
+  # The whole point of the subsystem: on at least one benchmark the
+  # mixed plan must reach the protection target cheaper than pure
+  # duplication.
+  if ! grep -q '"detector_win": true' "$f"; then
+    violation "$f: detectors never beat pure duplication at the target on any benchmark"
+  fi
+}
+
 gate_one() {
   case $(basename "$1") in
   BENCH_parallel.json) gate_parallel "$1" ;;
@@ -176,6 +198,7 @@ gate_one() {
   BENCH_server.json) gate_server "$1" ;;
   BENCH_faults.json) gate_faults "$1" ;;
   BENCH_store.json) gate_store "$1" ;;
+  BENCH_detect.json) gate_detect "$1" ;;
   *) violation "$1: no gate known for this file" ;;
   esac
 }
@@ -187,7 +210,7 @@ if [ $# -gt 0 ]; then
 else
   cd "$(dirname "$0")/.."
   found=0
-  for f in BENCH_parallel.json BENCH_vm.json BENCH_prune.json BENCH_server.json BENCH_faults.json BENCH_store.json; do
+  for f in BENCH_parallel.json BENCH_vm.json BENCH_prune.json BENCH_server.json BENCH_faults.json BENCH_store.json BENCH_detect.json; do
     if [ -e "$f" ]; then
       found=1
       gate_one "$f"

@@ -1,0 +1,68 @@
+#!/bin/sh
+# Detector smoke: run the protect command on the example pipeline with
+# detectors enabled, serially and with 4 domains, and require the report
+# and the exported Pareto JSON to be byte-identical; require the JSON to
+# be well-formed (front, mixed and pure selections, zero validation
+# false positives); and require the pure-duplication path (no
+# --detectors) to still work. Also available as a dune alias:
+# dune build @detect-smoke
+set -eu
+
+fail() {
+  echo "detect_smoke.sh: $1" >&2
+  exit 1
+}
+
+if [ -x bin/fastflip_cli.exe ]; then
+  # Invoked by the dune rule: deps are staged in the action directory.
+  FASTFLIP=bin/fastflip_cli.exe
+else
+  # Invoked by hand from a checkout.
+  cd "$(dirname "$0")/.."
+  dune build bin/fastflip_cli.exe
+  FASTFLIP=_build/default/bin/fastflip_cli.exe
+fi
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+ARGS="protect examples/pipeline.ff --samples 40 --detectors"
+
+# 1. The mixed protect run must be deterministic across domain counts.
+# The report ends with a "wrote pareto front to <path>" line whose path
+# legitimately differs, so strip it before diffing and compare the
+# exported JSON separately.
+$FASTFLIP $ARGS --pareto "$WORK/p1.json" -j 1 2>/dev/null \
+  | grep -v '^wrote pareto front' >"$WORK/report.j1" \
+  || fail "protect --detectors failed at -j 1"
+$FASTFLIP $ARGS --pareto "$WORK/p4.json" -j 4 2>/dev/null \
+  | grep -v '^wrote pareto front' >"$WORK/report.j4" \
+  || fail "protect --detectors failed at -j 4"
+diff -u "$WORK/report.j1" "$WORK/report.j4" >&2 \
+  || fail "protect report diverges between -j 1 and -j 4"
+cmp -s "$WORK/p1.json" "$WORK/p4.json" \
+  || fail "pareto JSON diverges between -j 1 and -j 4"
+
+# 2. The exported front must be well-formed.
+json=$WORK/p1.json
+[ -s "$json" ] || fail "pareto JSON missing or empty"
+tail -c 3 "$json" | grep -q '}' || fail "pareto JSON truncated"
+for key in '"front"' '"pure_front"' '"mixed"' '"pure"' '"detectors"'; do
+  grep -q "$key" "$json" || fail "pareto JSON has no $key key"
+done
+
+# 3. Synthesis validation must have dropped every benign-firing
+# candidate: the surviving detectors fire on zero benign runs.
+grep -q '"fp_fires": 0' "$json" \
+  || fail "surviving detectors fire on benign runs (fp_fires != 0)"
+
+# 4. The pure-duplication path (no --detectors) must still work and
+# stay deterministic.
+$FASTFLIP protect examples/pipeline.ff --samples 40 -j 1 >"$WORK/pure.j1" 2>/dev/null \
+  || fail "protect without --detectors failed"
+$FASTFLIP protect examples/pipeline.ff --samples 40 -j 4 >"$WORK/pure.j4" 2>/dev/null \
+  || fail "protect without --detectors failed at -j 4"
+diff -u "$WORK/pure.j1" "$WORK/pure.j4" >&2 \
+  || fail "pure-duplication report diverges between -j 1 and -j 4"
+
+echo "detect_smoke.sh: ok (protect deterministic, front well-formed, zero benign fires)"
